@@ -1,0 +1,91 @@
+//! Ablation A3 (§5.1): placement policy on the target deployment.
+//!
+//! The paper notes that "one may expect some benefits with fewer VMs in
+//! scale-in due to collocation of tasks that avoids network latency, but
+//! the round-robin Storm scheduler may not exploit this". We compare
+//! Storm's round-robin against a packing scheduler that fills VMs first,
+//! measuring co-location and steady-state latency after a CCR scale-in.
+
+use flowmig_bench::{banner, paper_controller};
+use flowmig_cluster::{
+    InstanceScheduler, PackingScheduler, RoundRobinScheduler, ScaleDirection, ScalePlan,
+};
+use flowmig_core::Ccr;
+use flowmig_metrics::LatencyTimeline;
+use flowmig_sim::{SimDuration, SimTime};
+use flowmig_topology::{library, InstanceSet};
+use flowmig_workloads::TextTable;
+
+/// Fraction of dataflow edges whose endpoints share a VM in the target
+/// assignment (weighted by instance pairs actually wired).
+fn colocation(plan: &ScalePlan, dag: &flowmig_topology::Dataflow, inst: &InstanceSet) -> f64 {
+    let mut total = 0u32;
+    let mut same = 0u32;
+    for (a, b) in dag.edges() {
+        for &ia in inst.of_task(a) {
+            for &ib in inst.of_task(b) {
+                if let (Some(va), Some(vb)) = (plan.target().vm_of(ia), plan.target().vm_of(ib)) {
+                    total += 1;
+                    same += u32::from(va == vb);
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        f64::from(same) / f64::from(total)
+    }
+}
+
+fn main() {
+    banner("Ablation A3", "round-robin vs packing scheduler, Grid scale-in with CCR");
+
+    let dag = library::grid();
+    let inst = InstanceSet::plan(&dag);
+    let controller = paper_controller().with_seed(17);
+
+    let mut table = TextTable::new(&[
+        "scheduler",
+        "co-located edge pairs",
+        "post-migration median latency (ms)",
+        "restore (s)",
+    ]);
+    let mut colocations = Vec::new();
+    for scheduler in [&RoundRobinScheduler as &dyn InstanceScheduler, &PackingScheduler] {
+        let plan =
+            ScalePlan::paper_scenario_with(&dag, &inst, ScaleDirection::In, scheduler)
+                .expect("scenario placeable");
+        let co = colocation(&plan, &dag, &inst);
+        let outcome = controller.run_with_plan(&dag, &inst, &plan, &Ccr::new());
+        assert!(outcome.completed, "{}: migration completes", scheduler.name());
+
+        let timeline = LatencyTimeline::from_trace(&outcome.trace, SimDuration::from_secs(10));
+        let median = timeline
+            .median_latency_ms(SimTime::from_secs(500), SimTime::from_secs(720))
+            .expect("stable tail");
+        table.row_owned(vec![
+            scheduler.name().to_owned(),
+            format!("{:.0}%", co * 100.0),
+            format!("{median:.0}"),
+            outcome
+                .metrics
+                .restore
+                .map_or_else(|| "-".into(), |d| format!("{:.1}", d.as_secs_f64())),
+        ]);
+        colocations.push(co);
+    }
+    println!("{table}");
+
+    assert!(
+        colocations[1] >= colocations[0],
+        "packing must co-locate at least as many connected instances"
+    );
+    println!(
+        "checks passed: packing raises co-location ({}% → {}%); with sub-ms LAN hops the \
+         latency gain is marginal — consistent with the paper's remark that round-robin \
+         leaves the co-location benefit unexploited",
+        (colocations[0] * 100.0).round(),
+        (colocations[1] * 100.0).round()
+    );
+}

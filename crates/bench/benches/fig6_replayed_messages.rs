@@ -1,0 +1,64 @@
+//! Fig. 6: number of failed and replayed messages under DSM, for scale-in
+//! (6a) and scale-out (6b).
+//!
+//! DCR and CCR replay nothing (asserted); only DSM rows are printed, as in
+//! the paper. Both the replayed root count and the per-task replayed
+//! message count are shown — the latter is the paper's y-axis (work redone
+//! across the causal tree).
+
+use flowmig_bench::{banner, mean_sd, paper, paper_controller, BENCH_SEEDS};
+use flowmig_cluster::ScaleDirection;
+use flowmig_core::{Ccr, Dcr, Dsm};
+use flowmig_topology::library;
+use flowmig_workloads::{Experiment, TextTable};
+
+fn main() {
+    for (direction, fig, paper_counts) in [
+        (ScaleDirection::In, "Fig. 6a (scale-in)", paper::FIG6A_REPLAYED),
+        (ScaleDirection::Out, "Fig. 6b (scale-out)", paper::FIG6B_REPLAYED),
+    ] {
+        banner(fig, "failed and replayed messages for DSM");
+        let mut table = TextTable::new(&[
+            "DAG",
+            "replayed roots",
+            "replayed messages",
+            "dropped events",
+            "paper replayed",
+        ]);
+        let mut micro_max = 0.0f64;
+        let mut app_min = f64::INFINITY;
+        for (dag, paper_count) in library::paper_dataflows().into_iter().zip(paper_counts) {
+            let experiment = Experiment::paper(dag.clone(), direction)
+                .with_seeds(&BENCH_SEEDS)
+                .with_controller(paper_controller());
+            let dsm = experiment.run(&Dsm::new()).expect("scenario placeable");
+            let dcr = experiment.run(&Dcr::new()).expect("scenario placeable");
+            let ccr = experiment.run(&Ccr::new()).expect("scenario placeable");
+            assert_eq!(dcr.replayed_roots.mean(), 0.0, "{}: DCR replays nothing", dag.name());
+            assert_eq!(ccr.replayed_roots.mean(), 0.0, "{}: CCR replays nothing", dag.name());
+
+            let msgs = dsm.replayed_messages.mean();
+            if matches!(dag.name(), "grid" | "traffic") {
+                app_min = app_min.min(msgs);
+            } else {
+                micro_max = micro_max.max(msgs);
+            }
+            table.row_owned(vec![
+                dag.name().to_owned(),
+                mean_sd(&dsm.replayed_roots),
+                mean_sd(&dsm.replayed_messages),
+                mean_sd(&dsm.dropped),
+                format!("{paper_count:.0}"),
+            ]);
+        }
+        println!("{table}");
+        assert!(
+            app_min > micro_max,
+            "application DAGs replay more messages than micro DAGs (paper's finding)"
+        );
+        println!(
+            "shape checks passed: DCR/CCR replay zero; application DAGs (grid, traffic) \
+             replay more than micro DAGs\n"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig. 7: input and output throughput timelines during the scale-in of
+//! the Grid dataflow, one panel per strategy (10 s buckets, time 0 = the
+//! migration request).
+
+use flowmig_bench::{banner, paper_controller};
+use flowmig_cluster::ScaleDirection;
+use flowmig_core::{Ccr, Dcr, Dsm, MigrationStrategy};
+use flowmig_metrics::{RateTimeline, TraceEvent};
+use flowmig_sim::SimDuration;
+use flowmig_topology::library;
+use flowmig_workloads::TextTable;
+
+fn main() {
+    banner("Fig. 7", "input/output throughput during Grid scale-in");
+    let controller = paper_controller().with_seed(23);
+    let dag = library::grid();
+
+    let mut spike_counts = Vec::new();
+    for (panel, strategy) in [
+        ("Fig. 7a — DSM", &Dsm::new() as &dyn MigrationStrategy),
+        ("Fig. 7b — DCR", &Dcr::new()),
+        ("Fig. 7c — CCR", &Ccr::new()),
+    ] {
+        let outcome = controller
+            .run(&dag, strategy, ScaleDirection::In)
+            .expect("scenario placeable");
+        let request = outcome.trace.migration_requested_at().expect("migration ran");
+        let timeline = RateTimeline::from_trace(&outcome.trace, SimDuration::from_secs(10));
+
+        println!("\n{panel} (t=0 is the migration request at 180 s)\n");
+        let mut table = TextTable::new(&["t (s)", "input (ev/s)", "output (ev/s)", ""]);
+        for (at, input, output) in timeline.rows() {
+            let rel = at.as_secs_f64() - request.as_secs_f64();
+            if (-30.0..=330.0).contains(&rel) {
+                table.row_owned(vec![
+                    format!("{rel:.0}"),
+                    format!("{input:.1}"),
+                    format!("{output:.1}"),
+                    "#".repeat((output / 2.0).round() as usize),
+                ]);
+            }
+        }
+        println!("{table}");
+
+        // The paper's input spikes are replay-emission bursts: the acker's
+        // rotating-bucket expiry fails tuple cohorts together, and the
+        // spout re-emits each cohort as a burst. Count those cohorts
+        // directly (clusters of replay emissions separated by >5 s).
+        let replay_times: Vec<f64> = outcome
+            .trace
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::SourceEmit { replay: true, at, .. } => {
+                    Some(at.saturating_since(request).as_secs_f64())
+                }
+                _ => None,
+            })
+            .collect();
+        let mut clusters = 0usize;
+        let mut last = f64::NEG_INFINITY;
+        for t in replay_times {
+            if t > last + 5.0 {
+                clusters += 1;
+            }
+            last = t;
+        }
+        println!("replay-burst cohorts after the request: {clusters}");
+        spike_counts.push((outcome.strategy, clusters));
+    }
+
+    // Paper: multiple replay spikes for DSM at ~30 s intervals; none at
+    // all for DCR and CCR (their single input peak is the paused-backlog
+    // flush, visible in the tables above).
+    let dsm_spikes = spike_counts[0].1;
+    assert!(dsm_spikes >= 2, "DSM shows repeated replay bursts, got {dsm_spikes}");
+    for &(name, spikes) in &spike_counts[1..] {
+        assert_eq!(spikes, 0, "{name} must emit no replays");
+    }
+    println!(
+        "\nshape checks passed: DSM has {dsm_spikes} replay-burst cohorts; DCR/CCR none"
+    );
+}

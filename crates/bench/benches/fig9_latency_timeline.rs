@@ -1,0 +1,77 @@
+//! Fig. 9: average end-to-end latency over 10 s windows during the
+//! scale-in of Grid, per strategy, with the paper's A–E phase marks:
+//! A→B restore, B→C catchup, C→D recovery, D→E stabilization, and the
+//! stable median latency line.
+
+use flowmig_bench::{banner, paper_controller};
+use flowmig_cluster::ScaleDirection;
+use flowmig_core::{Ccr, Dcr, Dsm, MigrationStrategy};
+use flowmig_metrics::LatencyTimeline;
+use flowmig_sim::{SimDuration, SimTime};
+use flowmig_topology::library;
+use flowmig_workloads::TextTable;
+
+fn main() {
+    banner("Fig. 9", "windowed avg latency during Grid scale-in (10 s windows)");
+    let controller = paper_controller().with_seed(37);
+    let dag = library::grid();
+
+    for strategy in [&Dsm::new() as &dyn MigrationStrategy, &Dcr::new(), &Ccr::new()] {
+        let outcome = controller
+            .run(&dag, strategy, ScaleDirection::In)
+            .expect("scenario placeable");
+        let request = outcome.trace.migration_requested_at().expect("migration ran");
+        let timeline = LatencyTimeline::from_trace(&outcome.trace, SimDuration::from_secs(10));
+        let stable = timeline
+            .median_latency_ms(SimTime::ZERO, request)
+            .expect("pre-migration latency available");
+
+        println!("\n--- {} ---", outcome.strategy);
+        let m = &outcome.metrics;
+        let mark = |label: &str, v: Option<flowmig_sim::SimDuration>| match v {
+            Some(d) => println!("  {label:<24} +{:.1}s", d.as_secs_f64()),
+            None => println!("  {label:<24} -"),
+        };
+        println!("  stable median latency    {stable:.0} ms");
+        mark("A→B restore", m.restore);
+        mark("B→C catchup", m.catchup);
+        mark("C→D recovery", m.recovery);
+        mark("D→E stabilization", m.stabilization);
+
+        let mut table = TextTable::new(&["t (s)", "avg latency (ms)", ""]);
+        for (at, latency) in timeline.rows() {
+            let rel = at.as_secs_f64() - request.as_secs_f64();
+            if (-30.0..=240.0).contains(&rel) {
+                table.row_owned(vec![
+                    format!("{rel:.0}"),
+                    format!("{latency:.0}"),
+                    "*".repeat(((latency / 200.0).round() as usize).min(60)),
+                ]);
+            }
+        }
+        println!("{table}");
+
+        // The paper's shape: latency is elevated during catchup and returns
+        // to the stable line afterwards.
+        let peak = timeline
+            .rows()
+            .filter(|&(at, _)| at >= request)
+            .map(|(_, l)| l)
+            .fold(0.0, f64::max);
+        assert!(
+            peak > 2.0 * stable,
+            "{}: migration must visibly elevate latency (peak {peak:.0} ms vs stable {stable:.0} ms)",
+            outcome.strategy
+        );
+        let horizon = controller.horizon();
+        let tail = timeline
+            .median_latency_ms(horizon + SimDuration::ZERO - SimDuration::from_secs(120), horizon)
+            .expect("tail latency available");
+        assert!(
+            tail < 2.0 * stable,
+            "{}: latency must return to the stable line (tail {tail:.0} ms)",
+            outcome.strategy
+        );
+    }
+    println!("\nshape checks passed: latency bulges during migration and returns to stable");
+}

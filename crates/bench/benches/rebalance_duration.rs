@@ -1,0 +1,52 @@
+//! §5.1: "the rebalance duration remains relatively constant across
+//! dataflows, VM counts and strategies, with an average value of 7.26 s".
+//!
+//! Collects the rebalance-command span from every cell of the strategy
+//! matrix (both directions) and verifies the mean and the flatness.
+
+use flowmig_bench::{banner, paper, paper_controller, BENCH_SEEDS};
+use flowmig_cluster::ScaleDirection;
+use flowmig_metrics::Summary;
+use flowmig_workloads::{strategy_matrix, TextTable};
+
+fn main() {
+    banner("§5.1 rebalance", "rebalance command duration across all runs");
+
+    let mut all = Summary::new();
+    let mut table =
+        TextTable::new(&["DAG", "scale", "strategy", "rebalance mean (s)", "sd (s)"]);
+    for direction in [ScaleDirection::In, ScaleDirection::Out] {
+        let reports = strategy_matrix(direction, &BENCH_SEEDS, &paper_controller())
+            .expect("paper scenarios placeable");
+        for report in reports {
+            table.row_owned(vec![
+                report.dag.clone(),
+                direction.to_string(),
+                report.strategy.to_owned(),
+                format!("{:.2}", report.rebalance.mean()),
+                format!("{:.2}", report.rebalance.std_dev()),
+            ]);
+            for outcome in &report.outcomes {
+                if let Some(d) = outcome.metrics.rebalance {
+                    all.add(d.as_secs_f64());
+                }
+            }
+        }
+    }
+    println!("{table}");
+    println!(
+        "overall: mean {:.2} s, sd {:.2} s over {} runs (paper: {:.2} s average)",
+        all.mean(),
+        all.std_dev(),
+        all.count(),
+        paper::REBALANCE_AVG_S
+    );
+
+    assert!(
+        (all.mean() - paper::REBALANCE_AVG_S).abs() < 0.5,
+        "mean rebalance ≈ 7.26 s, got {:.2}",
+        all.mean()
+    );
+    assert!(all.std_dev() < 1.0, "rebalance duration is relatively constant");
+    println!("\nchecks passed: mean ≈ 7.26 s and flat across dataflows/strategies/directions");
+}

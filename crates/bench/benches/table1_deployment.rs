@@ -1,0 +1,57 @@
+//! Table 1: tasks, slots and VMs for the five dataflows.
+//!
+//! Regenerates the deployment table from the topology library and the
+//! Table 1 scale plans, and checks every cell against the paper.
+
+use flowmig_bench::{banner, paper};
+use flowmig_cluster::{ScaleDirection, ScalePlan};
+use flowmig_topology::{library, InstanceSet};
+use flowmig_workloads::TextTable;
+
+fn main() {
+    banner("Table 1", "tasks, slots and VMs for the dataflows");
+    let mut table = TextTable::new(&[
+        "DAG",
+        "tasks",
+        "instances (slots)",
+        "default #VM (D2)",
+        "scale-in #VM (D3)",
+        "scale-out #VM (D1)",
+        "paper",
+    ]);
+    let mut all_match = true;
+    for (dag, (name, tasks, instances, default_vms, in_vms, out_vms)) in
+        library::paper_dataflows().into_iter().zip(paper::TABLE1)
+    {
+        assert_eq!(dag.name(), name);
+        let inst = InstanceSet::plan(&dag);
+        let plan_in = ScalePlan::paper_scenario(&dag, &inst, ScaleDirection::In)
+            .expect("paper scenario placeable");
+        let plan_out = ScalePlan::paper_scenario(&dag, &inst, ScaleDirection::Out)
+            .expect("paper scenario placeable");
+        let row = (
+            dag.user_tasks().count(),
+            inst.user_instance_count(&dag),
+            plan_in.initial_vm_count(),
+            plan_in.target_vm_count(),
+            plan_out.target_vm_count(),
+        );
+        let matches = row == (tasks, instances, default_vms, in_vms, out_vms);
+        all_match &= matches;
+        table.row_owned(vec![
+            name.to_owned(),
+            row.0.to_string(),
+            row.1.to_string(),
+            row.2.to_string(),
+            row.3.to_string(),
+            row.4.to_string(),
+            if matches { "match".into() } else { "MISMATCH".into() },
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "source and sink excluded (pinned to a separate 4-slot VM, §5). All rows {}.",
+        if all_match { "match the paper exactly" } else { "DO NOT match — investigate" }
+    );
+    assert!(all_match, "Table 1 must match the paper");
+}

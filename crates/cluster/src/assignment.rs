@@ -1,0 +1,205 @@
+//! Instance→slot assignments and migration diffs.
+
+use crate::vm::{SlotId, VmId};
+use flowmig_topology::InstanceId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A complete mapping of every task instance to a slot.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_cluster::{Assignment, SlotId, VmId};
+/// use flowmig_topology::InstanceId;
+///
+/// let mut a = Assignment::new();
+/// let i0 = InstanceId::from_index(0);
+/// a.place(i0, SlotId { vm: VmId::from_index(1), slot: 0 });
+/// assert_eq!(a.slot_of(i0).unwrap().vm, VmId::from_index(1));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    slots: HashMap<InstanceId, SlotId>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Places `instance` on `slot`, returning the previous slot if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another instance already occupies `slot` (slots are
+    /// exclusive: one instance per 1-core slot).
+    pub fn place(&mut self, instance: InstanceId, slot: SlotId) -> Option<SlotId> {
+        assert!(
+            !self.slots.iter().any(|(&i, &s)| s == slot && i != instance),
+            "slot {slot} is already occupied"
+        );
+        self.slots.insert(instance, slot)
+    }
+
+    /// The slot hosting `instance`, if assigned.
+    pub fn slot_of(&self, instance: InstanceId) -> Option<SlotId> {
+        self.slots.get(&instance).copied()
+    }
+
+    /// The VM hosting `instance`, if assigned.
+    pub fn vm_of(&self, instance: InstanceId) -> Option<VmId> {
+        self.slot_of(instance).map(|s| s.vm)
+    }
+
+    /// Number of assigned instances.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns true if nothing is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over `(instance, slot)` pairs in instance order
+    /// (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (InstanceId, SlotId)> + '_ {
+        let mut pairs: Vec<(InstanceId, SlotId)> =
+            self.slots.iter().map(|(&i, &s)| (i, s)).collect();
+        pairs.sort_by_key(|&(i, _)| i);
+        pairs.into_iter()
+    }
+
+    /// The set of distinct VMs used by this assignment.
+    pub fn vms_used(&self) -> HashSet<VmId> {
+        self.slots.values().map(|s| s.vm).collect()
+    }
+
+    /// Instances whose slot differs between `self` (old) and `new` — the
+    /// set that must be killed and respawned by a rebalance.
+    ///
+    /// Instances present in only one assignment are counted as moved.
+    pub fn moved_instances(&self, new: &Assignment) -> Vec<InstanceId> {
+        let mut moved: Vec<InstanceId> = self
+            .slots
+            .keys()
+            .chain(new.slots.keys())
+            .copied()
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .filter(|i| self.slot_of(*i) != new.slot_of(*i))
+            .collect();
+        moved.sort();
+        moved
+    }
+}
+
+impl FromIterator<(InstanceId, SlotId)> for Assignment {
+    fn from_iter<T: IntoIterator<Item = (InstanceId, SlotId)>>(iter: T) -> Self {
+        let mut a = Assignment::new();
+        for (i, s) in iter {
+            a.place(i, s);
+        }
+        a
+    }
+}
+
+impl Extend<(InstanceId, SlotId)> for Assignment {
+    fn extend<T: IntoIterator<Item = (InstanceId, SlotId)>>(&mut self, iter: T) {
+        for (i, s) in iter {
+            self.place(i, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::VmId;
+
+    fn slot(vm: usize, s: u8) -> SlotId {
+        SlotId { vm: VmId::from_index(vm), slot: s }
+    }
+
+    #[test]
+    fn place_and_lookup() {
+        let mut a = Assignment::new();
+        let i = InstanceId::from_index(3);
+        assert_eq!(a.place(i, slot(0, 1)), None);
+        assert_eq!(a.slot_of(i), Some(slot(0, 1)));
+        assert_eq!(a.vm_of(i), Some(VmId::from_index(0)));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn replace_returns_previous() {
+        let mut a = Assignment::new();
+        let i = InstanceId::from_index(0);
+        a.place(i, slot(0, 0));
+        assert_eq!(a.place(i, slot(1, 0)), Some(slot(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn exclusive_slots() {
+        let mut a = Assignment::new();
+        a.place(InstanceId::from_index(0), slot(0, 0));
+        a.place(InstanceId::from_index(1), slot(0, 0));
+    }
+
+    #[test]
+    fn moved_instances_detects_changes() {
+        let old: Assignment = [
+            (InstanceId::from_index(0), slot(0, 0)),
+            (InstanceId::from_index(1), slot(0, 1)),
+            (InstanceId::from_index(2), slot(1, 0)),
+        ]
+        .into_iter()
+        .collect();
+        let new: Assignment = [
+            (InstanceId::from_index(0), slot(0, 0)), // unchanged (pinned)
+            (InstanceId::from_index(1), slot(2, 0)), // moved
+            (InstanceId::from_index(2), slot(2, 1)), // moved
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            old.moved_instances(&new),
+            vec![InstanceId::from_index(1), InstanceId::from_index(2)]
+        );
+    }
+
+    #[test]
+    fn moved_instances_handles_asymmetric_sets() {
+        let old: Assignment = [(InstanceId::from_index(0), slot(0, 0))].into_iter().collect();
+        let new = Assignment::new();
+        assert_eq!(old.moved_instances(&new), vec![InstanceId::from_index(0)]);
+    }
+
+    #[test]
+    fn vms_used_deduplicates() {
+        let a: Assignment = [
+            (InstanceId::from_index(0), slot(0, 0)),
+            (InstanceId::from_index(1), slot(0, 1)),
+            (InstanceId::from_index(2), slot(3, 0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(a.vms_used().len(), 2);
+    }
+
+    #[test]
+    fn iter_is_sorted_by_instance() {
+        let a: Assignment = [
+            (InstanceId::from_index(2), slot(0, 0)),
+            (InstanceId::from_index(0), slot(0, 1)),
+            (InstanceId::from_index(1), slot(1, 0)),
+        ]
+        .into_iter()
+        .collect();
+        let ids: Vec<usize> = a.iter().map(|(i, _)| i.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

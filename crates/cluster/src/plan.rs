@@ -1,0 +1,286 @@
+//! Elastic scaling scenarios and migration plans (Table 1 of the paper).
+//!
+//! The paper evaluates the two most common Cloud elasticity scenarios:
+//!
+//! * **scale-in** — from `⌈I/2⌉` D2 VMs (2 slots) to `⌈I/4⌉` D3 VMs
+//!   (4 slots): consolidate to fewer, larger VMs;
+//! * **scale-out** — from `⌈I/2⌉` D2 VMs to `I` D1 VMs (1 slot): spread to
+//!   more, smaller VMs;
+//!
+//! where `I` is the user-task instance count. The total slot count never
+//! changes — only the VMs they are packed onto. Source and sink stay on a
+//! pinned 4-slot VM. Determining *this* plan is the scheduling problem the
+//! paper scopes out (§1 fn. 1); enacting it reliably is what `flowmig-core`
+//! does.
+
+use crate::assignment::Assignment;
+use crate::scheduler::{InstanceScheduler, RoundRobinScheduler, ScheduleError};
+use crate::vm::{VmPool, VmRole, VmSize};
+use flowmig_topology::{Dataflow, InstanceId, InstanceSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which way the deployment is being scaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScaleDirection {
+    /// Consolidate onto fewer, larger VMs (D2 → D3).
+    In,
+    /// Spread onto more, smaller VMs (D2 → D1).
+    Out,
+}
+
+impl fmt::Display for ScaleDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleDirection::In => write!(f, "scale-in"),
+            ScaleDirection::Out => write!(f, "scale-out"),
+        }
+    }
+}
+
+/// A complete migration plan: the VM pool, the initial and target
+/// assignments, and the set of instances that must move.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_cluster::{ScaleDirection, ScalePlan};
+/// use flowmig_topology::{library, InstanceSet};
+///
+/// let dag = library::grid();
+/// let instances = InstanceSet::plan(&dag);
+/// let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In)?;
+/// // Table 1: Grid runs on 11 D2 VMs and scales in to 6 D3 VMs.
+/// assert_eq!(plan.initial_vm_count(), 11);
+/// assert_eq!(plan.target_vm_count(), 6);
+/// // All 21 user instances migrate (the worker VM set is replaced).
+/// assert_eq!(plan.migrating().len(), 21);
+/// # Ok::<(), flowmig_cluster::ScheduleError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScalePlan {
+    pool: VmPool,
+    initial: Assignment,
+    target: Assignment,
+    migrating: Vec<InstanceId>,
+    direction: ScaleDirection,
+}
+
+impl ScalePlan {
+    /// Builds the paper's scenario for `direction` using Storm's default
+    /// round-robin scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if either deployment cannot be placed
+    /// (cannot happen for the Table 1 scenarios, which size the pool from
+    /// the instance count).
+    pub fn paper_scenario(
+        dag: &Dataflow,
+        instances: &InstanceSet,
+        direction: ScaleDirection,
+    ) -> Result<Self, ScheduleError> {
+        Self::paper_scenario_with(dag, instances, direction, &RoundRobinScheduler)
+    }
+
+    /// Builds the paper's scenario with an explicit scheduling policy
+    /// (used by the scheduler ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if either deployment cannot be placed.
+    pub fn paper_scenario_with(
+        dag: &Dataflow,
+        instances: &InstanceSet,
+        direction: ScaleDirection,
+        scheduler: &dyn InstanceScheduler,
+    ) -> Result<Self, ScheduleError> {
+        let users = instances.user_instance_count(dag);
+        let initial_vms = users.div_ceil(VmSize::D2.slots() as usize);
+        let (target_size, target_vms) = match direction {
+            ScaleDirection::In => (VmSize::D3, users.div_ceil(VmSize::D3.slots() as usize)),
+            ScaleDirection::Out => (VmSize::D1, users),
+        };
+
+        let mut pool = VmPool::new();
+        pool.add(VmSize::D3, VmRole::Pinned);
+        for _ in 0..initial_vms {
+            pool.add(VmSize::D2, VmRole::InitialWorker);
+        }
+        for _ in 0..target_vms {
+            pool.add(target_size, VmRole::TargetWorker);
+        }
+        Self::between(dag, instances, pool, direction, scheduler)
+    }
+
+    /// Builds a plan over an explicit pool: schedules the initial deployment
+    /// on `InitialWorker` VMs and the target on `TargetWorker` VMs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if either deployment cannot be placed.
+    pub fn between(
+        dag: &Dataflow,
+        instances: &InstanceSet,
+        pool: VmPool,
+        direction: ScaleDirection,
+        scheduler: &dyn InstanceScheduler,
+    ) -> Result<Self, ScheduleError> {
+        let initial = scheduler.assign(dag, instances, &pool, VmRole::InitialWorker)?;
+        let target = scheduler.assign(dag, instances, &pool, VmRole::TargetWorker)?;
+        let migrating = initial.moved_instances(&target);
+        Ok(ScalePlan { pool, initial, target, migrating, direction })
+    }
+
+    /// The combined VM pool (pinned + initial workers + target workers).
+    pub fn pool(&self) -> &VmPool {
+        &self.pool
+    }
+
+    /// The assignment before migration.
+    pub fn initial(&self) -> &Assignment {
+        &self.initial
+    }
+
+    /// The assignment after migration.
+    pub fn target(&self) -> &Assignment {
+        &self.target
+    }
+
+    /// Instances that change slots (killed + respawned by the rebalance).
+    pub fn migrating(&self) -> &[InstanceId] {
+        &self.migrating
+    }
+
+    /// The scaling direction of this plan.
+    pub fn direction(&self) -> ScaleDirection {
+        self.direction
+    }
+
+    /// Number of worker VMs in the initial deployment (Table 1 "Default").
+    pub fn initial_vm_count(&self) -> usize {
+        self.pool.with_role(VmRole::InitialWorker).count()
+    }
+
+    /// Number of worker VMs in the target deployment (Table 1 scale column).
+    pub fn target_vm_count(&self) -> usize {
+        self.pool.with_role(VmRole::TargetWorker).count()
+    }
+
+    /// Fraction of worker slots in use in the target deployment — the
+    /// utilization argument of Fig. 1 (e.g. 7 tasks on 2×4-core VMs
+    /// → 87.5 %).
+    pub fn target_utilization(&self) -> f64 {
+        let used = self.migrating.len();
+        let total = self.pool.slot_count(VmRole::TargetWorker);
+        if total == 0 {
+            0.0
+        } else {
+            used as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmig_topology::library;
+
+    /// Table 1 of the paper, all three VM columns.
+    #[test]
+    fn table1_vm_counts() {
+        let rows = [
+            ("linear", library::linear(), 3, 2, 5),
+            ("diamond", library::diamond(), 4, 2, 8),
+            ("star", library::star(), 4, 2, 8),
+            ("grid", library::grid(), 11, 6, 21),
+            ("traffic", library::traffic(), 7, 4, 13),
+        ];
+        for (name, dag, default_vms, in_vms, out_vms) in rows {
+            let inst = InstanceSet::plan(&dag);
+            let pin = ScalePlan::paper_scenario(&dag, &inst, ScaleDirection::In).unwrap();
+            assert_eq!(pin.initial_vm_count(), default_vms, "{name} default");
+            assert_eq!(pin.target_vm_count(), in_vms, "{name} scale-in");
+            let pout = ScalePlan::paper_scenario(&dag, &inst, ScaleDirection::Out).unwrap();
+            assert_eq!(pout.initial_vm_count(), default_vms, "{name} default (out)");
+            assert_eq!(pout.target_vm_count(), out_vms, "{name} scale-out");
+        }
+    }
+
+    #[test]
+    fn all_user_instances_migrate_and_pinned_stay() {
+        let dag = library::star();
+        let inst = InstanceSet::plan(&dag);
+        let plan = ScalePlan::paper_scenario(&dag, &inst, ScaleDirection::Out).unwrap();
+        assert_eq!(plan.migrating().len(), inst.user_instance_count(&dag));
+        // Pinned (source/sink) instances keep their slots.
+        for i in inst.iter() {
+            let user = dag.spec(inst.task_of(i)).kind() == flowmig_topology::TaskKind::Operator;
+            let moved = plan.migrating().contains(&i);
+            assert_eq!(user, moved, "instance {i}");
+        }
+    }
+
+    #[test]
+    fn slot_conservation() {
+        // Total user slots equal before and after (the paper keeps slot
+        // count constant; only the packing changes).
+        for dag in library::paper_dataflows() {
+            let inst = InstanceSet::plan(&dag);
+            for dir in [ScaleDirection::In, ScaleDirection::Out] {
+                let plan = ScalePlan::paper_scenario(&dag, &inst, dir).unwrap();
+                let users = inst.user_instance_count(&dag);
+                assert!(plan.pool().slot_count(VmRole::InitialWorker) >= users);
+                assert!(plan.pool().slot_count(VmRole::TargetWorker) >= users);
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_utilization_example() {
+        // Fig. 1: 7 tasks consolidated from 5×2-core VMs (70 % utilized)
+        // to 2×4-core VMs (87.5 % utilized).
+        let dag = library::linear_n(7);
+        let inst = InstanceSet::plan(&dag);
+        let mut pool = VmPool::new();
+        pool.add(VmSize::D3, VmRole::Pinned);
+        for _ in 0..5 {
+            pool.add(VmSize::D2, VmRole::InitialWorker);
+        }
+        for _ in 0..2 {
+            pool.add(VmSize::D3, VmRole::TargetWorker);
+        }
+        let plan =
+            ScalePlan::between(&dag, &inst, pool, ScaleDirection::In, &RoundRobinScheduler)
+                .unwrap();
+        let initial_util = plan.migrating().len() as f64
+            / plan.pool().slot_count(VmRole::InitialWorker) as f64;
+        assert_eq!(initial_util, 0.7);
+        assert_eq!(plan.target_utilization(), 0.875);
+    }
+
+    #[test]
+    fn direction_display() {
+        assert_eq!(ScaleDirection::In.to_string(), "scale-in");
+        assert_eq!(ScaleDirection::Out.to_string(), "scale-out");
+    }
+
+    #[test]
+    fn custom_pool_via_between() {
+        let dag = library::linear();
+        let inst = InstanceSet::plan(&dag);
+        let mut pool = VmPool::new();
+        pool.add(VmSize::D3, VmRole::Pinned);
+        for _ in 0..5 {
+            pool.add(VmSize::D2, VmRole::InitialWorker);
+        }
+        for _ in 0..5 {
+            pool.add(VmSize::D2, VmRole::TargetWorker);
+        }
+        let plan =
+            ScalePlan::between(&dag, &inst, pool, ScaleDirection::Out, &RoundRobinScheduler)
+                .unwrap();
+        assert_eq!(plan.migrating().len(), 5);
+        assert_eq!(plan.initial_vm_count(), 5);
+    }
+}

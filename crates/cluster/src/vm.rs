@@ -1,0 +1,247 @@
+//! Virtual machines and resource slots.
+//!
+//! The paper's Storm cluster divides Azure D-series VMs into 1-core resource
+//! slots; each slot runs exactly one task instance (§5, "Each resource slot
+//! of Storm runs a distinct task instance, and is assigned a 1-core Intel
+//! Xeon E5 v3 CPU").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a VM within an experiment's combined VM pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmId(pub(crate) u32);
+
+impl VmId {
+    /// Dense index of this VM.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `VmId` from a dense index.
+    pub const fn from_index(index: usize) -> Self {
+        VmId(index as u32)
+    }
+}
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// A VM size: a name and a number of 1-core slots.
+///
+/// The Azure D-series sizes used in the paper are provided as constants.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_cluster::VmSize;
+///
+/// assert_eq!(VmSize::D2.slots(), 2);
+/// assert_eq!(VmSize::D3.slots(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VmSize {
+    name: &'static str,
+    slots: u8,
+}
+
+impl VmSize {
+    /// Azure D1: 1 core → 1 slot (scale-out target).
+    pub const D1: VmSize = VmSize { name: "D1", slots: 1 };
+    /// Azure D2: 2 cores → 2 slots (default deployment).
+    pub const D2: VmSize = VmSize { name: "D2", slots: 2 };
+    /// Azure D3: 4 cores → 4 slots (scale-in target; also the pinned
+    /// source/sink VM and the Redis VM in the paper).
+    pub const D3: VmSize = VmSize { name: "D3", slots: 4 };
+
+    /// A custom size with `slots` 1-core slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub const fn custom(name: &'static str, slots: u8) -> VmSize {
+        assert!(slots > 0, "a VM needs at least one slot");
+        VmSize { name, slots }
+    }
+
+    /// Size name (e.g. `"D2"`).
+    pub const fn name(self) -> &'static str {
+        self.name
+    }
+
+    /// Number of 1-core slots.
+    pub const fn slots(self) -> u8 {
+        self.slots
+    }
+}
+
+impl fmt::Display for VmSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({} slots)", self.name, self.slots)
+    }
+}
+
+/// A slot: one core of one VM, hosting at most one task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SlotId {
+    /// The VM hosting this slot.
+    pub vm: VmId,
+    /// Slot index within the VM (0-based, `< VmSize::slots`).
+    pub slot: u8,
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.vm, self.slot)
+    }
+}
+
+/// Role a VM plays in an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VmRole {
+    /// Hosts migratable user-task instances in the **initial** deployment.
+    InitialWorker,
+    /// Hosts migratable user-task instances in the **target** deployment.
+    TargetWorker,
+    /// The pinned VM hosting source and sink (never migrated, §5).
+    Pinned,
+}
+
+/// The pool of VMs available to one experiment: the pinned source/sink VM
+/// plus the initial and target worker sets (scale-in/-out swaps the entire
+/// worker set, so both sets coexist in the pool).
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_cluster::{VmPool, VmRole, VmSize};
+///
+/// let mut pool = VmPool::new();
+/// let pinned = pool.add(VmSize::D3, VmRole::Pinned);
+/// let w1 = pool.add(VmSize::D2, VmRole::InitialWorker);
+/// assert_eq!(pool.slot_count(VmRole::InitialWorker), 2);
+/// assert_ne!(pinned, w1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VmPool {
+    sizes: Vec<VmSize>,
+    roles: Vec<VmRole>,
+}
+
+impl VmPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a VM, returning its id.
+    pub fn add(&mut self, size: VmSize, role: VmRole) -> VmId {
+        let id = VmId::from_index(self.sizes.len());
+        self.sizes.push(size);
+        self.roles.push(role);
+        id
+    }
+
+    /// Number of VMs in the pool.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Returns true if the pool has no VMs.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Size of VM `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the pool.
+    pub fn size(&self, id: VmId) -> VmSize {
+        self.sizes[id.index()]
+    }
+
+    /// Role of VM `id`.
+    pub fn role(&self, id: VmId) -> VmRole {
+        self.roles[id.index()]
+    }
+
+    /// Iterates over VM ids with the given role.
+    pub fn with_role(&self, role: VmRole) -> impl Iterator<Item = VmId> + '_ {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(move |(_, &r)| r == role)
+            .map(|(i, _)| VmId::from_index(i))
+    }
+
+    /// All slots of VMs with the given role, VM-major order.
+    pub fn slots_of(&self, role: VmRole) -> Vec<SlotId> {
+        let mut out = Vec::new();
+        for vm in self.with_role(role) {
+            for s in 0..self.size(vm).slots() {
+                out.push(SlotId { vm, slot: s });
+            }
+        }
+        out
+    }
+
+    /// Total slot count across VMs with the given role.
+    pub fn slot_count(&self, role: VmRole) -> usize {
+        self.with_role(role).map(|vm| self.size(vm).slots() as usize).sum()
+    }
+
+    /// Iterates over all VM ids.
+    pub fn iter(&self) -> impl Iterator<Item = VmId> + '_ {
+        (0..self.sizes.len()).map(VmId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_series_presets() {
+        assert_eq!(VmSize::D1.slots(), 1);
+        assert_eq!(VmSize::D2.slots(), 2);
+        assert_eq!(VmSize::D3.slots(), 4);
+        assert_eq!(VmSize::D3.name(), "D3");
+        assert_eq!(VmSize::D2.to_string(), "D2(2 slots)");
+    }
+
+    #[test]
+    fn custom_size() {
+        let s = VmSize::custom("D4", 8);
+        assert_eq!(s.slots(), 8);
+    }
+
+    #[test]
+    fn pool_roles_and_slots() {
+        let mut pool = VmPool::new();
+        pool.add(VmSize::D3, VmRole::Pinned);
+        pool.add(VmSize::D2, VmRole::InitialWorker);
+        pool.add(VmSize::D2, VmRole::InitialWorker);
+        pool.add(VmSize::D3, VmRole::TargetWorker);
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.slot_count(VmRole::InitialWorker), 4);
+        assert_eq!(pool.slot_count(VmRole::TargetWorker), 4);
+        assert_eq!(pool.slot_count(VmRole::Pinned), 4);
+        let slots = pool.slots_of(VmRole::InitialWorker);
+        assert_eq!(slots.len(), 4);
+        assert_eq!(slots[0].to_string(), "vm1:0");
+        assert_eq!(slots[3].to_string(), "vm2:1");
+    }
+
+    #[test]
+    fn with_role_filters() {
+        let mut pool = VmPool::new();
+        let p = pool.add(VmSize::D3, VmRole::Pinned);
+        pool.add(VmSize::D1, VmRole::TargetWorker);
+        let pinned: Vec<VmId> = pool.with_role(VmRole::Pinned).collect();
+        assert_eq!(pinned, vec![p]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Capture-Checkpoint-Resume (CCR) — §3.2 of the paper.
+//!
+//! CCR attacks DCR's drain time on both fronts:
+//!
+//! 1. PREPARE is **broadcast** hub-and-spoke from the checkpoint source to
+//!    the end of every task's input queue, rather than sweeping the whole
+//!    dataflow — so it arrives after only the *local* queue backlog.
+//! 2. On PREPARE, a task stops processing and **captures** subsequent input
+//!    events into a pending list instead of executing them; the capture
+//!    time is bounded by the slowest single queue, not the critical path.
+//!
+//! A sequential COMMIT still sweeps behind all in-flight events and
+//! persists state *plus pending lists* to the store. After the rebalance, a
+//! broadcast INIT restores each task independently — the captured events
+//! resume locally, so the dataflow refills while workers are still coming
+//! up. Intuitively, CCR overlaps DCR's drain time with the post-rebalance
+//! refill time (§3.2).
+
+use crate::phased::{PhasedCoordinator, PhasedRouting};
+use crate::strategy::{MigrationStrategy, StrategyKind};
+use flowmig_engine::{resend, MigrationCoordinator, ProtocolConfig, WaveRouting};
+use flowmig_sim::SimDuration;
+
+/// The CCR strategy.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_core::{Ccr, MigrationStrategy, StrategyKind};
+///
+/// let ccr = Ccr::default();
+/// assert_eq!(ccr.kind(), StrategyKind::Ccr);
+/// // Capture is what distinguishes CCR's protocol:
+/// assert!(ccr.protocol().capture_on_prepare);
+/// assert!(ccr.protocol().persist_pending);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ccr {
+    init_resend: SimDuration,
+    wave_timeout: Option<SimDuration>,
+}
+
+impl Default for Ccr {
+    fn default() -> Self {
+        // The checkpoint waves roll back if not fully acked within the
+        // acking timeout (§2's three-phase-commit failure handling).
+        Ccr { init_resend: resend::FAST, wave_timeout: Some(resend::ACK_TIMEOUT) }
+    }
+}
+
+impl Ccr {
+    /// CCR with the paper's 1 s INIT resend cadence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the INIT re-emission interval.
+    pub fn with_init_resend(mut self, interval: SimDuration) -> Self {
+        self.init_resend = interval;
+        self
+    }
+
+    /// Aborts the migration with a ROLLBACK wave if PREPARE/COMMIT do not
+    /// complete within `timeout`.
+    pub fn with_wave_timeout(mut self, timeout: SimDuration) -> Self {
+        self.wave_timeout = Some(timeout);
+        self
+    }
+
+    /// The configured INIT resend interval.
+    pub fn init_resend(&self) -> SimDuration {
+        self.init_resend
+    }
+
+    /// The configured checkpoint-wave timeout, if any.
+    pub fn wave_timeout(&self) -> Option<SimDuration> {
+        self.wave_timeout
+    }
+
+    /// Disables the checkpoint-wave timeout (the migration waits out any
+    /// stall indefinitely).
+    pub fn without_wave_timeout(mut self) -> Self {
+        self.wave_timeout = None;
+        self
+    }
+}
+
+impl MigrationStrategy for Ccr {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Ccr
+    }
+
+    fn protocol(&self) -> ProtocolConfig {
+        ProtocolConfig::ccr()
+    }
+
+    fn coordinator(&self) -> Box<dyn MigrationCoordinator> {
+        Box::new(PhasedCoordinator::new(
+            "CCR",
+            PhasedRouting { prepare: WaveRouting::Broadcast, init: WaveRouting::Broadcast },
+            self.init_resend,
+            self.wave_timeout,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Ccr::new();
+        assert_eq!(c.init_resend(), SimDuration::from_secs(1));
+        assert_eq!(c.name(), "CCR");
+    }
+
+    #[test]
+    fn protocol_enables_capture() {
+        let p = Ccr::new().protocol();
+        assert!(p.capture_on_prepare);
+        assert!(p.persist_pending);
+        assert!(!p.ack_user_events);
+    }
+
+    #[test]
+    fn wave_timeout_builder() {
+        let c = Ccr::new().with_wave_timeout(SimDuration::from_secs(15));
+        assert_eq!(c.wave_timeout(), Some(SimDuration::from_secs(15)));
+    }
+}

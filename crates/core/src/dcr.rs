@@ -1,0 +1,132 @@
+//! Drain-Checkpoint-Restore (DCR) — §3.1 of the paper.
+//!
+//! DCR pauses the sources and lets a **sequential** PREPARE wave sweep the
+//! dataflow as the *rearguard*: because every input queue is
+//! single-threaded, a task seeing PREPARE knows it has processed every
+//! in-flight event — the dataflow is drained with zero loss. A COMMIT wave
+//! then persists a just-in-time checkpoint, the rebalance runs with nothing
+//! in flight, and after redeployment an INIT wave (re-sent every second)
+//! restores the freshest state before the sources resume.
+//!
+//! Compared to DSM there are no failed/replayed events, no interleaving of
+//! old and new events, and no always-on acking/checkpointing overheads; the
+//! cost is the drain time, proportional to the dataflow's critical path and
+//! input rate (§5.1 — see the `drain_time` bench).
+
+use crate::phased::{PhasedCoordinator, PhasedRouting};
+use crate::strategy::{MigrationStrategy, StrategyKind};
+use flowmig_engine::{resend, MigrationCoordinator, ProtocolConfig, WaveRouting};
+use flowmig_sim::SimDuration;
+
+/// The DCR strategy.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_core::{Dcr, MigrationStrategy, StrategyKind};
+///
+/// let dcr = Dcr::default();
+/// assert_eq!(dcr.kind(), StrategyKind::Dcr);
+/// // Reliability only for checkpoint events (§3.1):
+/// assert!(!dcr.protocol().ack_user_events);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dcr {
+    init_resend: SimDuration,
+    wave_timeout: Option<SimDuration>,
+}
+
+impl Default for Dcr {
+    fn default() -> Self {
+        // The checkpoint waves roll back if not fully acked within the
+        // acking timeout (§2's three-phase-commit failure handling).
+        Dcr { init_resend: resend::FAST, wave_timeout: Some(resend::ACK_TIMEOUT) }
+    }
+}
+
+impl Dcr {
+    /// DCR with the paper's 1 s INIT resend cadence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the INIT re-emission interval (the `ablation_init_resend`
+    /// bench compares 1 s with DSM's 30 s cadence).
+    pub fn with_init_resend(mut self, interval: SimDuration) -> Self {
+        self.init_resend = interval;
+        self
+    }
+
+    /// Aborts the migration with a ROLLBACK wave if PREPARE/COMMIT do not
+    /// complete within `timeout` (three-phase-commit failure handling).
+    pub fn with_wave_timeout(mut self, timeout: SimDuration) -> Self {
+        self.wave_timeout = Some(timeout);
+        self
+    }
+
+    /// The configured INIT resend interval.
+    pub fn init_resend(&self) -> SimDuration {
+        self.init_resend
+    }
+
+    /// The configured checkpoint-wave timeout, if any.
+    pub fn wave_timeout(&self) -> Option<SimDuration> {
+        self.wave_timeout
+    }
+
+    /// Disables the checkpoint-wave timeout (the migration waits out any
+    /// stall indefinitely).
+    pub fn without_wave_timeout(mut self) -> Self {
+        self.wave_timeout = None;
+        self
+    }
+}
+
+impl MigrationStrategy for Dcr {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Dcr
+    }
+
+    fn protocol(&self) -> ProtocolConfig {
+        ProtocolConfig::dcr()
+    }
+
+    fn coordinator(&self) -> Box<dyn MigrationCoordinator> {
+        Box::new(PhasedCoordinator::new(
+            "DCR",
+            PhasedRouting { prepare: WaveRouting::Sequential, init: WaveRouting::Sequential },
+            self.init_resend,
+            self.wave_timeout,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let d = Dcr::new();
+        assert_eq!(d.init_resend(), SimDuration::from_secs(1));
+        assert_eq!(d.wave_timeout(), Some(SimDuration::from_secs(30)));
+        assert_eq!(d.without_wave_timeout().wave_timeout(), None);
+        assert_eq!(d.name(), "DCR");
+    }
+
+    #[test]
+    fn builders_configure_ablations() {
+        let d = Dcr::new()
+            .with_init_resend(SimDuration::from_secs(30))
+            .with_wave_timeout(SimDuration::from_secs(20));
+        assert_eq!(d.init_resend(), SimDuration::from_secs(30));
+        assert_eq!(d.wave_timeout(), Some(SimDuration::from_secs(20)));
+    }
+
+    #[test]
+    fn protocol_has_no_capture() {
+        let p = Dcr::new().protocol();
+        assert!(!p.capture_on_prepare && !p.persist_pending);
+        assert!(!p.periodic_checkpoint);
+    }
+}

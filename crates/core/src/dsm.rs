@@ -1,0 +1,235 @@
+//! Default Storm Migration (DSM) — the baseline strategy of §2.
+//!
+//! DSM is what stock Storm gives you: on a migration request the
+//! `rebalance` command runs immediately (default timeout 0), killing the
+//! migrating tasks along with their queued events. Reliability is recovered
+//! after the fact: the always-on acker replays lost tuple trees from the
+//! source after their 30 s timeout, and task state is restored from the
+//! last *periodic* checkpoint via an INIT wave — re-sent only on the 30 s
+//! ack-timeout, which is why DSM's restore time grows in ≈30 s jumps
+//! (§5.1).
+
+use crate::strategy::{MigrationStrategy, StrategyKind};
+use flowmig_engine::{resend, EngineCtl, MigrationCoordinator, ProtocolConfig, WaveRouting};
+use flowmig_metrics::{ControlKind, MigrationPhase};
+use flowmig_sim::SimDuration;
+
+/// Timer token for the optional user pause timeout.
+const PAUSE_TIMEOUT_TOKEN: u32 = 1;
+
+/// The DSM strategy.
+///
+/// `pause_timeout` models the user-chosen rebalance timeout of §2: Storm
+/// pauses the sources for this long before killing tasks, hoping in-flight
+/// events drain. Users "may under- or over-estimate this timeout, causing
+/// messages to be lost or the dataflow to be idle" — the
+/// `ablation_dsm_timeout` bench sweeps it. The paper's evaluation uses 0.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_core::{Dsm, MigrationStrategy, StrategyKind};
+///
+/// let dsm = Dsm::default();
+/// assert_eq!(dsm.kind(), StrategyKind::Dsm);
+/// assert!(dsm.protocol().ack_user_events);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dsm {
+    pause_timeout: SimDuration,
+}
+
+impl Default for Dsm {
+    fn default() -> Self {
+        Dsm { pause_timeout: SimDuration::ZERO }
+    }
+}
+
+impl Dsm {
+    /// DSM with the paper's zero rebalance timeout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// DSM with a user-specified pause timeout before the kill (§2).
+    pub fn with_pause_timeout(pause_timeout: SimDuration) -> Self {
+        Dsm { pause_timeout }
+    }
+
+    /// The configured pause timeout.
+    pub fn pause_timeout(&self) -> SimDuration {
+        self.pause_timeout
+    }
+}
+
+impl MigrationStrategy for Dsm {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Dsm
+    }
+
+    fn protocol(&self) -> ProtocolConfig {
+        ProtocolConfig::dsm()
+    }
+
+    fn coordinator(&self) -> Box<dyn MigrationCoordinator> {
+        Box::new(DsmCoordinator {
+            state: DsmState::Idle,
+            pause_timeout: self.pause_timeout,
+            paused: false,
+        })
+    }
+}
+
+/// DSM coordinator states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DsmState {
+    /// Normal operation; periodic checkpoints run.
+    Idle,
+    /// A periodic PREPARE wave is sweeping.
+    PeriodicPrepare,
+    /// A periodic COMMIT wave is sweeping.
+    PeriodicCommit,
+    /// A stalled periodic wave is being recovered via ROLLBACK (Storm's
+    /// checkpoint-spout recovery; re-initializes crashed instances from
+    /// the last committed state).
+    PeriodicRecover,
+    /// Waiting out the user pause timeout before the kill.
+    Pausing,
+    /// Rebalance command in flight.
+    Rebalancing,
+    /// INIT waves restoring state (with 30 s-timeout retries).
+    Restoring,
+    /// Migration done; back to periodic checkpointing.
+    Done,
+}
+
+#[derive(Debug)]
+struct DsmCoordinator {
+    state: DsmState,
+    pause_timeout: SimDuration,
+    paused: bool,
+}
+
+impl MigrationCoordinator for DsmCoordinator {
+    fn name(&self) -> &'static str {
+        "DSM"
+    }
+
+    fn on_checkpoint_timer(&mut self, ctl: &mut EngineCtl<'_, '_>) {
+        // Periodic 30 s checkpointing, §2 — skipped while migrating.
+        match self.state {
+            DsmState::Idle | DsmState::Done => {
+                self.state = DsmState::PeriodicPrepare;
+                ctl.reset_wave(ControlKind::Prepare);
+                ctl.start_wave(ControlKind::Prepare, WaveRouting::Sequential);
+            }
+            DsmState::PeriodicPrepare | DsmState::PeriodicCommit | DsmState::PeriodicRecover => {
+                // The previous wave stalled (e.g. an executor crashed
+                // mid-sweep): recover with a ROLLBACK broadcast, which also
+                // re-initializes returned instances from the last commit.
+                self.state = DsmState::PeriodicRecover;
+                ctl.reset_wave(ControlKind::Rollback);
+                ctl.start_wave(ControlKind::Rollback, WaveRouting::Broadcast);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_migration_requested(&mut self, ctl: &mut EngineCtl<'_, '_>) {
+        if self.pause_timeout.is_zero() {
+            self.state = DsmState::Rebalancing;
+            ctl.start_rebalance();
+        } else {
+            self.state = DsmState::Pausing;
+            self.paused = true;
+            ctl.phase_started(MigrationPhase::Pause);
+            ctl.pause_sources();
+            ctl.schedule_timer(PAUSE_TIMEOUT_TOKEN, self.pause_timeout);
+        }
+    }
+
+    fn on_timer(&mut self, token: u32, ctl: &mut EngineCtl<'_, '_>) {
+        if token == PAUSE_TIMEOUT_TOKEN && self.state == DsmState::Pausing {
+            // §2: after the timeout the kill happens; the topology is
+            // reactivated (sources resume) once the rebalance command
+            // completes, as with Storm's deactivate→rebalance→activate.
+            self.state = DsmState::Rebalancing;
+            ctl.start_rebalance();
+        }
+    }
+
+    fn on_rebalance_complete(&mut self, ctl: &mut EngineCtl<'_, '_>) {
+        if self.state != DsmState::Rebalancing {
+            return;
+        }
+        if self.paused {
+            self.paused = false;
+            ctl.unpause_sources();
+            ctl.phase_ended(MigrationPhase::Pause);
+        }
+        self.state = DsmState::Restoring;
+        ctl.phase_started(MigrationPhase::Restore);
+        ctl.reset_wave(ControlKind::Init);
+        ctl.start_wave(ControlKind::Init, WaveRouting::Sequential);
+        ctl.schedule_resend(ControlKind::Init, resend::ACK_TIMEOUT);
+    }
+
+    fn on_resend_timer(&mut self, kind: ControlKind, ctl: &mut EngineCtl<'_, '_>) {
+        if kind == ControlKind::Init
+            && self.state == DsmState::Restoring
+            && !ctl.wave_complete(ControlKind::Init)
+        {
+            // The earlier INIT wave timed out against tasks that were not
+            // active yet; Storm re-sends after the 30 s acking timeout.
+            ctl.start_wave(ControlKind::Init, WaveRouting::Sequential);
+            ctl.schedule_resend(ControlKind::Init, resend::ACK_TIMEOUT);
+        }
+    }
+
+    fn on_wave_complete(&mut self, kind: ControlKind, ctl: &mut EngineCtl<'_, '_>) {
+        match (self.state, kind) {
+            (DsmState::PeriodicPrepare, ControlKind::Prepare) => {
+                self.state = DsmState::PeriodicCommit;
+                ctl.reset_wave(ControlKind::Commit);
+                ctl.start_wave(ControlKind::Commit, WaveRouting::Sequential);
+            }
+            (DsmState::PeriodicCommit, ControlKind::Commit) => {
+                self.state = DsmState::Idle;
+            }
+            (DsmState::PeriodicRecover, ControlKind::Rollback) => {
+                self.state = DsmState::Idle;
+            }
+            (DsmState::Restoring, ControlKind::Init) => {
+                ctl.phase_ended(MigrationPhase::Restore);
+                ctl.complete_migration();
+                self.state = DsmState::Done;
+            }
+            _ => {} // stale wave from an interrupted periodic checkpoint
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_timeout_is_zero() {
+        assert!(Dsm::new().pause_timeout().is_zero());
+        let d = Dsm::with_pause_timeout(SimDuration::from_secs(10));
+        assert_eq!(d.pause_timeout(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn protocol_enables_acking_and_periodic_checkpoints() {
+        let p = Dsm::new().protocol();
+        assert!(p.ack_user_events);
+        assert!(p.periodic_checkpoint);
+        assert!(!p.capture_on_prepare);
+    }
+
+    #[test]
+    fn coordinator_name() {
+        assert_eq!(Dsm::new().coordinator().name(), "DSM");
+    }
+}

@@ -1,0 +1,186 @@
+//! Shared coordinator for the paper's proposed strategies.
+//!
+//! DCR and CCR sequence the same five phases — pause → PREPARE → COMMIT →
+//! rebalance → INIT → resume — and differ only in how PREPARE and INIT are
+//! routed (sequential drain vs broadcast capture/resume) and in the engine's
+//! [`ProtocolConfig`](flowmig_engine::ProtocolConfig) capture flags. This
+//! module implements that common state machine once, with an optional
+//! checkpoint-wave timeout that aborts via a ROLLBACK wave (§2's three-phase
+//! commit semantics).
+
+use flowmig_engine::{EngineCtl, MigrationCoordinator, WaveRouting};
+use flowmig_metrics::{ControlKind, MigrationPhase};
+use flowmig_sim::SimDuration;
+
+/// Timer token guarding the PREPARE/COMMIT phases.
+const WAVE_TIMEOUT_TOKEN: u32 = 2;
+
+/// Routing choices distinguishing DCR from CCR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PhasedRouting {
+    /// PREPARE: Sequential (DCR drain rearguard) or Broadcast (CCR capture).
+    pub prepare: WaveRouting,
+    /// INIT: Sequential (DCR) or Broadcast (CCR vanguard).
+    pub init: WaveRouting,
+}
+
+/// Phase progression of a managed migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    Idle,
+    Draining,
+    Committing,
+    Rebalancing,
+    Restoring,
+    Done,
+    Aborting,
+    Aborted,
+}
+
+/// The DCR/CCR coordinator state machine.
+#[derive(Debug)]
+pub(crate) struct PhasedCoordinator {
+    name: &'static str,
+    routing: PhasedRouting,
+    init_resend: SimDuration,
+    wave_timeout: Option<SimDuration>,
+    phase: Phase,
+}
+
+impl PhasedCoordinator {
+    pub(crate) fn new(
+        name: &'static str,
+        routing: PhasedRouting,
+        init_resend: SimDuration,
+        wave_timeout: Option<SimDuration>,
+    ) -> Self {
+        PhasedCoordinator { name, routing, init_resend, wave_timeout, phase: Phase::Idle }
+    }
+
+    /// The current phase (inspection for tests).
+    #[cfg(test)]
+    pub(crate) fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    fn abort(&mut self, ctl: &mut EngineCtl<'_, '_>) {
+        // Checkpoint could not complete (e.g. an instance crashed while the
+        // wave was sweeping): roll the dataflow back and resume where we
+        // were — no rebalance happens.
+        self.phase = Phase::Aborting;
+        ctl.reset_wave(ControlKind::Rollback);
+        ctl.start_wave(ControlKind::Rollback, WaveRouting::Broadcast);
+        ctl.schedule_resend(ControlKind::Rollback, SimDuration::from_secs(1));
+    }
+}
+
+impl MigrationCoordinator for PhasedCoordinator {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_migration_requested(&mut self, ctl: &mut EngineCtl<'_, '_>) {
+        // Pause the sources, then launch the PREPARE wave: sequential makes
+        // it the drain rearguard (DCR), broadcast puts it at the end of
+        // every input queue to start capture (CCR).
+        self.phase = Phase::Draining;
+        ctl.phase_started(MigrationPhase::Pause);
+        ctl.pause_sources();
+        ctl.phase_started(MigrationPhase::Drain);
+        ctl.reset_wave(ControlKind::Prepare);
+        ctl.start_wave(ControlKind::Prepare, self.routing.prepare);
+        if let Some(timeout) = self.wave_timeout {
+            ctl.schedule_timer(WAVE_TIMEOUT_TOKEN, timeout);
+        }
+    }
+
+    fn on_wave_complete(&mut self, kind: ControlKind, ctl: &mut EngineCtl<'_, '_>) {
+        match (self.phase, kind) {
+            (Phase::Draining, ControlKind::Prepare) => {
+                // All in-flight events are drained (DCR) or captured (CCR);
+                // persist everything with a sequential COMMIT sweep.
+                self.phase = Phase::Committing;
+                ctl.phase_ended(MigrationPhase::Drain);
+                ctl.phase_started(MigrationPhase::Commit);
+                ctl.reset_wave(ControlKind::Commit);
+                ctl.start_wave(ControlKind::Commit, WaveRouting::Sequential);
+            }
+            (Phase::Committing, ControlKind::Commit) => {
+                // Checkpoint durable: enact Storm's rebalance, timeout 0.
+                self.phase = Phase::Rebalancing;
+                ctl.phase_ended(MigrationPhase::Commit);
+                ctl.start_rebalance();
+            }
+            (Phase::Restoring, ControlKind::Init) => {
+                // Every task restored (and, for CCR, resumed its captured
+                // events): unpause the sources.
+                self.phase = Phase::Done;
+                ctl.phase_ended(MigrationPhase::Restore);
+                ctl.phase_started(MigrationPhase::Resume);
+                ctl.unpause_sources();
+                ctl.phase_ended(MigrationPhase::Pause);
+                ctl.complete_migration();
+            }
+            (Phase::Aborting, ControlKind::Rollback) => {
+                self.phase = Phase::Aborted;
+                ctl.unpause_sources();
+                ctl.phase_ended(MigrationPhase::Pause);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_rebalance_complete(&mut self, ctl: &mut EngineCtl<'_, '_>) {
+        if self.phase != Phase::Rebalancing {
+            return;
+        }
+        self.phase = Phase::Restoring;
+        ctl.phase_started(MigrationPhase::Restore);
+        ctl.reset_wave(ControlKind::Init);
+        ctl.start_wave(ControlKind::Init, self.routing.init);
+        ctl.schedule_resend(ControlKind::Init, self.init_resend);
+    }
+
+    fn on_resend_timer(&mut self, kind: ControlKind, ctl: &mut EngineCtl<'_, '_>) {
+        match (self.phase, kind) {
+            (Phase::Restoring, ControlKind::Init) if !ctl.wave_complete(ControlKind::Init) => {
+                // §3.1: duplicate INITs every second; already-restored tasks
+                // skip them, so the aggressive cadence is cheap.
+                ctl.start_wave(ControlKind::Init, self.routing.init);
+                ctl.schedule_resend(ControlKind::Init, self.init_resend);
+            }
+            (Phase::Aborting, ControlKind::Rollback)
+                if !ctl.wave_complete(ControlKind::Rollback) =>
+            {
+                ctl.start_wave(ControlKind::Rollback, WaveRouting::Broadcast);
+                ctl.schedule_resend(ControlKind::Rollback, SimDuration::from_secs(1));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u32, ctl: &mut EngineCtl<'_, '_>) {
+        if token == WAVE_TIMEOUT_TOKEN
+            && matches!(self.phase, Phase::Draining | Phase::Committing)
+        {
+            self.abort(ctl);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_idle() {
+        let c = PhasedCoordinator::new(
+            "DCR",
+            PhasedRouting { prepare: WaveRouting::Sequential, init: WaveRouting::Sequential },
+            SimDuration::from_secs(1),
+            None,
+        );
+        assert_eq!(c.phase(), Phase::Idle);
+        assert_eq!(c.name(), "DCR");
+    }
+}

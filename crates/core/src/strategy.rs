@@ -1,0 +1,72 @@
+//! The migration-strategy abstraction.
+
+use flowmig_engine::{MigrationCoordinator, ProtocolConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three strategies evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Default Storm Migration (§2): kill immediately, rely on acking
+    /// replay and periodic checkpoints for reliability.
+    Dsm,
+    /// Drain-Checkpoint-Restore (§3.1): drain in-flight events, JIT
+    /// checkpoint, restore after rebalance.
+    Dcr,
+    /// Capture-Checkpoint-Resume (§3.2): capture in-flight events in place,
+    /// checkpoint them with the state, resume them after rebalance.
+    Ccr,
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StrategyKind::Dsm => "DSM",
+            StrategyKind::Dcr => "DCR",
+            StrategyKind::Ccr => "CCR",
+        })
+    }
+}
+
+impl StrategyKind {
+    /// All strategies in the paper's presentation order.
+    pub const ALL: [StrategyKind; 3] = [StrategyKind::Dsm, StrategyKind::Dcr, StrategyKind::Ccr];
+}
+
+/// A dataflow migration strategy: a static protocol configuration plus a
+/// factory for the coordinator state machine that sequences the migration.
+///
+/// Implementations: [`Dsm`](crate::Dsm), [`Dcr`](crate::Dcr),
+/// [`Ccr`](crate::Ccr).
+pub trait MigrationStrategy {
+    /// Which of the paper's strategies this is.
+    fn kind(&self) -> StrategyKind;
+
+    /// Display name (e.g. `"DCR"`).
+    fn name(&self) -> &'static str {
+        match self.kind() {
+            StrategyKind::Dsm => "DSM",
+            StrategyKind::Dcr => "DCR",
+            StrategyKind::Ccr => "CCR",
+        }
+    }
+
+    /// The engine protocol behaviour this strategy requires.
+    fn protocol(&self) -> ProtocolConfig;
+
+    /// Builds a fresh coordinator for one migration run.
+    fn coordinator(&self) -> Box<dyn MigrationCoordinator>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_display_paper_names() {
+        assert_eq!(StrategyKind::Dsm.to_string(), "DSM");
+        assert_eq!(StrategyKind::Dcr.to_string(), "DCR");
+        assert_eq!(StrategyKind::Ccr.to_string(), "CCR");
+        assert_eq!(StrategyKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Storm's acknowledgement service: XOR ledgers over causal tuple trees.
+//!
+//! Every root event registers a 64-bit id with the acker. Each downstream
+//! tuple derived from the root XORs its id into the root's ledger when
+//! emitted and again when acked; since `x ^ x = 0`, the ledger returns to
+//! zero exactly when every causally derived tuple has been acked (§2,
+//! "Guaranteeing Message Processing"). Trees that do not zero out within
+//! the timeout are failed and their roots replayed by the source.
+
+use flowmig_metrics::RootId;
+use flowmig_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Outcome of an XOR update on a root's ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckOutcome {
+    /// The tree is still incomplete.
+    Pending,
+    /// The ledger reached zero: the tree is fully processed.
+    Complete,
+    /// The root is not tracked (already completed, failed, or never
+    /// registered — e.g. acking disabled when it was emitted).
+    Untracked,
+}
+
+#[derive(Debug, Clone)]
+struct Ledger {
+    xor: u64,
+    registered_at: SimTime,
+}
+
+/// The acker service state.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_engine::{Acker, AckOutcome};
+/// use flowmig_metrics::RootId;
+/// use flowmig_sim::{SimDuration, SimTime};
+///
+/// let mut acker = Acker::new(SimDuration::from_secs(30));
+/// let root = RootId(0xfeed);
+/// // Source emits the root tuple with id 0x11.
+/// acker.register(root, 0x11, SimTime::ZERO);
+/// // A bolt processes tuple 0x11 and emits child 0x22:
+/// assert_eq!(acker.apply(root, 0x11 ^ 0x22), AckOutcome::Pending);
+/// // The sink acks tuple 0x22 with no children:
+/// assert_eq!(acker.apply(root, 0x22), AckOutcome::Complete);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Acker {
+    ledgers: HashMap<RootId, Ledger>,
+    timeout: SimDuration,
+}
+
+impl Acker {
+    /// Creates an acker with the given tree timeout.
+    pub fn new(timeout: SimDuration) -> Self {
+        Acker { ledgers: HashMap::new(), timeout }
+    }
+
+    /// Registers a new root whose initial tuple ids XOR to `xor`
+    /// (the source may emit several copies on different out-edges).
+    ///
+    /// Re-registering an existing root (a replay) resets its ledger and its
+    /// timeout clock.
+    pub fn register(&mut self, root: RootId, xor: u64, now: SimTime) {
+        self.ledgers.insert(root, Ledger { xor, registered_at: now });
+    }
+
+    /// Applies an ack update: the processing task sends
+    /// `processed_tuple_id ⊕ (⊕ emitted children ids)`.
+    pub fn apply(&mut self, root: RootId, update: u64) -> AckOutcome {
+        match self.ledgers.get_mut(&root) {
+            None => AckOutcome::Untracked,
+            Some(ledger) => {
+                ledger.xor ^= update;
+                if ledger.xor == 0 {
+                    self.ledgers.remove(&root);
+                    AckOutcome::Complete
+                } else {
+                    AckOutcome::Pending
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the roots whose trees have exceeded the timeout.
+    pub fn expire(&mut self, now: SimTime) -> Vec<RootId> {
+        let timeout = self.timeout;
+        let mut expired: Vec<RootId> = self
+            .ledgers
+            .iter()
+            .filter(|(_, l)| now.saturating_since(l.registered_at) >= timeout)
+            .map(|(&r, _)| r)
+            .collect();
+        expired.sort(); // deterministic replay order
+        for r in &expired {
+            self.ledgers.remove(r);
+        }
+        expired
+    }
+
+    /// Forgets a root without completing it (e.g. the source gave up).
+    pub fn forget(&mut self, root: RootId) {
+        self.ledgers.remove(&root);
+    }
+
+    /// Number of in-flight (pending) trees.
+    pub fn pending(&self) -> usize {
+        self.ledgers.len()
+    }
+
+    /// Whether `root` is currently tracked.
+    pub fn is_pending(&self, root: RootId) -> bool {
+        self.ledgers.contains_key(&root)
+    }
+
+    /// The configured tree timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn linear_chain_completes() {
+        // src --e1--> a --e2--> b --e3--> sink
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let root = RootId(1);
+        acker.register(root, 0xA, t(0));
+        assert_eq!(acker.apply(root, 0xA ^ 0xB), AckOutcome::Pending); // a: ack e1, emit e2
+        assert_eq!(acker.apply(root, 0xB ^ 0xC), AckOutcome::Pending); // b: ack e2, emit e3
+        assert_eq!(acker.apply(root, 0xC), AckOutcome::Complete); // sink: ack e3
+        assert_eq!(acker.pending(), 0);
+    }
+
+    #[test]
+    fn fan_out_tree_completes_in_any_order() {
+        // Root emits copies e1, e2; each processed by a task emitting one
+        // child to the sink.
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let root = RootId(2);
+        acker.register(root, 0x1 ^ 0x2, t(0));
+        // Acks arrive out of order:
+        assert_eq!(acker.apply(root, 0x2 ^ 0x20), AckOutcome::Pending);
+        assert_eq!(acker.apply(root, 0x20), AckOutcome::Pending);
+        assert_eq!(acker.apply(root, 0x1 ^ 0x10), AckOutcome::Pending);
+        assert_eq!(acker.apply(root, 0x10), AckOutcome::Complete);
+    }
+
+    #[test]
+    fn incomplete_tree_expires() {
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        acker.register(RootId(1), 0xA, t(0));
+        acker.register(RootId(2), 0xB, t(20));
+        assert!(acker.expire(t(29)).is_empty());
+        assert_eq!(acker.expire(t(30)), vec![RootId(1)]);
+        assert!(acker.is_pending(RootId(2)));
+        assert_eq!(acker.expire(t(50)), vec![RootId(2)]);
+        assert_eq!(acker.pending(), 0);
+    }
+
+    #[test]
+    fn replay_reregisters_and_resets_clock() {
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let root = RootId(3);
+        acker.register(root, 0xA, t(0));
+        assert_eq!(acker.expire(t(30)), vec![root]);
+        // Replay at t=30 with a fresh tuple id.
+        acker.register(root, 0xBB, t(30));
+        assert!(acker.expire(t(59)).is_empty());
+        assert_eq!(acker.apply(root, 0xBB), AckOutcome::Complete);
+    }
+
+    #[test]
+    fn untracked_updates_are_ignored() {
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        assert_eq!(acker.apply(RootId(9), 0x1), AckOutcome::Untracked);
+        acker.register(RootId(9), 0x1, t(0));
+        acker.forget(RootId(9));
+        assert_eq!(acker.apply(RootId(9), 0x1), AckOutcome::Untracked);
+    }
+
+    #[test]
+    fn late_acks_after_failure_do_not_resurrect() {
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let root = RootId(4);
+        acker.register(root, 0xA, t(0));
+        let _ = acker.expire(t(31));
+        // The original tuple's ack straggles in after the failure.
+        assert_eq!(acker.apply(root, 0xA), AckOutcome::Untracked);
+        assert_eq!(acker.pending(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Engine timing model and calibration constants.
+//!
+//! Defaults are calibrated so the simulated Storm cluster reproduces the
+//! *shape* of the paper's measurements (see `DESIGN.md` §5 and
+//! `EXPERIMENTS.md`): 100 ms dummy tasks, 30 s ack timeout, ~7.26 s
+//! rebalance command, multi-second worker JVM spawn delays, and a Redis
+//! round-trip that checkpoints 2 000 events in ~100 ms.
+
+use flowmig_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Latency model of the checkpoint state store (the paper's Redis v3.2.8 on
+/// a dedicated D3 VM).
+///
+/// Persist/fetch cost is `base + per_event × pending_events`. The paper's
+/// micro-benchmark ("it takes just 100 ms to checkpoint 2000 events to
+/// Redis from Storm") fixes `per_event` ≈ 0.05 ms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreLatencyModel {
+    /// Fixed round-trip cost per operation.
+    pub base: SimDuration,
+    /// Incremental cost per captured pending event in the blob.
+    pub per_event: SimDuration,
+}
+
+impl StoreLatencyModel {
+    /// Cost of persisting or fetching a blob carrying `pending_events`
+    /// captured events.
+    pub fn op_cost(&self, pending_events: usize) -> SimDuration {
+        self.base + SimDuration::from_micros(self.per_event.as_micros() * pending_events as u64)
+    }
+}
+
+impl Default for StoreLatencyModel {
+    fn default() -> Self {
+        StoreLatencyModel {
+            base: SimDuration::from_micros(500),
+            per_event: SimDuration::from_micros(50),
+        }
+    }
+}
+
+/// All timing and behavioural constants of the simulated DSPS cluster.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_engine::EngineConfig;
+/// use flowmig_sim::SimDuration;
+///
+/// let cfg = EngineConfig::default();
+/// assert_eq!(cfg.ack_timeout, SimDuration::from_secs(30));
+/// assert_eq!(cfg.checkpoint_interval, SimDuration::from_secs(30));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Acker timeout after which an incomplete tuple tree is failed and its
+    /// root replayed (Storm default: 30 s).
+    pub ack_timeout: SimDuration,
+    /// How often the acker scans for expired trees. Storm's TimeCacheMap
+    /// expires tuples in rotating buckets of ~timeout/2, so failures come
+    /// in synchronized cohorts — the source of DSM's 30 s-spaced replay
+    /// bursts in Fig. 7a.
+    pub acker_scan_interval: SimDuration,
+    /// Periodic checkpoint interval for DSM (Storm default: 30 s).
+    pub checkpoint_interval: SimDuration,
+    /// Base duration of Storm's `rebalance` command (paper: 7.26 s average,
+    /// "relatively constant across dataflows, VM counts and strategies").
+    pub rebalance_base: SimDuration,
+    /// Relative jitter applied to `rebalance_base` (uniform ±fraction).
+    pub rebalance_jitter: f64,
+    /// Earliest a killed worker becomes ready after the rebalance completes
+    /// (supervisor respawn + JVM start + executor registration).
+    pub worker_ready_min: SimDuration,
+    /// Latest a killed worker becomes ready after the rebalance completes.
+    pub worker_ready_max: SimDuration,
+    /// Platform-level handling cost of one control event.
+    pub control_latency: SimDuration,
+    /// Network latency between instances on the same VM.
+    pub net_latency_local: SimDuration,
+    /// Network latency between instances on different VMs.
+    pub net_latency_remote: SimDuration,
+    /// State-store (Redis) latency model.
+    pub store: StoreLatencyModel,
+    /// Maximum unacked roots outstanding at the source before new emissions
+    /// are throttled (Storm's `max.spout.pending`; only with acking).
+    pub max_spout_pending: usize,
+    /// Pacing of source backlog drain after an unpause (one event per tick;
+    /// 10 ms ⇒ up to 100 ev/s burst, the input-rate spike of Fig. 7b/c).
+    pub source_drain_interval: SimDuration,
+    /// Maximum events the benchmark generator buffers while the source is
+    /// paused or throttled; past this the generator itself stalls (the
+    /// paper's driver thread sleeps while paused).
+    pub max_source_backlog: usize,
+    /// Outgoing-transport buffer per connecting (Starting) worker: data
+    /// events beyond this are dropped, as with a Netty client whose
+    /// reconnect queue overflows.
+    pub transport_buffer: usize,
+    /// Relative jitter on operator service time (uniform ±fraction),
+    /// giving realistic non-lockstep queue depths.
+    pub task_latency_jitter: f64,
+    /// Relative jitter on the source emission interval (uniform ±fraction,
+    /// mean preserved): the generator thread's scheduling noise, which is
+    /// what puts 1–2 events in flight per queue at any instant.
+    pub source_interval_jitter: f64,
+    /// Event budget per simulation run (guards against event storms).
+    pub event_budget: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            ack_timeout: SimDuration::from_secs(30),
+            acker_scan_interval: SimDuration::from_secs(15),
+            checkpoint_interval: SimDuration::from_secs(30),
+            rebalance_base: SimDuration::from_millis(7_260),
+            rebalance_jitter: 0.08,
+            worker_ready_min: SimDuration::from_secs(5),
+            worker_ready_max: SimDuration::from_secs(35),
+            control_latency: SimDuration::from_millis(1),
+            net_latency_local: SimDuration::from_micros(200),
+            net_latency_remote: SimDuration::from_micros(1_500),
+            store: StoreLatencyModel::default(),
+            max_spout_pending: 60,
+            source_drain_interval: SimDuration::from_millis(10),
+            max_source_backlog: 100,
+            transport_buffer: 10,
+            task_latency_jitter: 0.2,
+            source_interval_jitter: 0.35,
+            event_budget: 100_000_000,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Draws a jittered rebalance-command duration.
+    pub fn rebalance_duration(&self, rng: &mut SimRng) -> SimDuration {
+        rng.jittered(self.rebalance_base, self.rebalance_jitter)
+    }
+
+    /// Draws a worker ready delay (uniform in `[min, max]`).
+    pub fn worker_ready_delay(&self, rng: &mut SimRng) -> SimDuration {
+        rng.duration_between(self.worker_ready_min, self.worker_ready_max)
+    }
+
+    /// Network latency between two VMs (`None` VM means co-located
+    /// conceptual services like the checkpoint source on the pinned VM).
+    pub fn net_latency(&self, same_vm: bool) -> SimDuration {
+        if same_vm {
+            self.net_latency_local
+        } else {
+            self.net_latency_remote
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_cost_matches_paper_micro_benchmark() {
+        // 2000 events ≈ 100 ms (paper §5.1).
+        let store = StoreLatencyModel::default();
+        let cost = store.op_cost(2_000);
+        let ms = cost.as_millis_f64();
+        assert!((ms - 100.5).abs() < 1.0, "2000-event checkpoint ≈ 100 ms, got {ms} ms");
+    }
+
+    #[test]
+    fn empty_blob_costs_base_only() {
+        let store = StoreLatencyModel::default();
+        assert_eq!(store.op_cost(0), store.base);
+    }
+
+    #[test]
+    fn rebalance_jitter_brackets_7_26s() {
+        let cfg = EngineConfig::default();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..100 {
+            let d = cfg.rebalance_duration(&mut rng).as_secs_f64();
+            assert!((6.6..=7.9).contains(&d), "{d}");
+        }
+    }
+
+    #[test]
+    fn worker_ready_within_bounds() {
+        let cfg = EngineConfig::default();
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..100 {
+            let d = cfg.worker_ready_delay(&mut rng);
+            assert!(d >= cfg.worker_ready_min && d <= cfg.worker_ready_max);
+        }
+    }
+
+    #[test]
+    fn net_latency_prefers_local() {
+        let cfg = EngineConfig::default();
+        assert!(cfg.net_latency(true) < cfg.net_latency(false));
+    }
+}

@@ -1,0 +1,116 @@
+//! Data and control events flowing through the simulated dataflow, plus the
+//! engine's internal DES event type.
+
+use flowmig_metrics::{ControlKind, RootId};
+use flowmig_sim::SimTime;
+use flowmig_topology::{InstanceId, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// A user data event (a Storm tuple) derived from some root event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataEvent {
+    /// Unique tuple id (participates in the acker's XOR ledger).
+    pub id: u64,
+    /// Root event this tuple causally descends from.
+    pub root: RootId,
+    /// When the external stream generated the root (latency baseline).
+    pub generated_at: SimTime,
+    /// Whether the root had been failed and replayed before this emission.
+    pub replayed: bool,
+}
+
+/// Who sent a control event — needed for the barrier alignment of
+/// sequential checkpoint waves (an instance acts once it has seen the wave
+/// from *every* upstream connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlSender {
+    /// The checkpoint source task, standing in for source task `TaskId`
+    /// (sequential waves enter the dataflow at the roots) or broadcasting.
+    CheckpointSource(TaskId),
+    /// An upstream instance forwarding the wave.
+    Upstream(InstanceId),
+}
+
+/// A checkpoint control event (Storm's checkpoint stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlEvent {
+    /// PREPARE / COMMIT / ROLLBACK / INIT.
+    pub kind: ControlKind,
+    /// Wave number (resends increment it).
+    pub wave: u32,
+    /// Sender, for alignment accounting.
+    pub from: ControlSender,
+}
+
+/// An item on a task instance's single-threaded input queue: data and
+/// control events share the queue, which is what lets a sequential PREPARE
+/// act as the drain rearguard (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueueItem {
+    /// A user data event.
+    Data(DataEvent),
+    /// A checkpoint control event.
+    Control(ControlEvent),
+}
+
+/// Internal DES events driving the engine.
+#[derive(Debug, Clone)]
+pub(crate) enum Ev {
+    /// A source instance generates its next root event.
+    SourceTick { instance: usize },
+    /// A source instance drains one backlogged event.
+    SourceDrain { instance: usize },
+    /// Network delivery of an item to an instance's input queue.
+    Deliver { to: usize, item: QueueItem },
+    /// An idle instance checks its input queue.
+    Wake { instance: usize },
+    /// An instance finishes its current work item.
+    Finish { instance: usize },
+    /// Periodic acker timeout scan.
+    AckerScan,
+    /// Periodic checkpoint trigger (DSM).
+    CheckpointTimer,
+    /// Storm's rebalance command completes.
+    RebalanceDone,
+    /// A respawned worker becomes ready.
+    WorkerReady { instance: usize },
+    /// A control wave resend timer fired.
+    ControlResend { kind: ControlKind },
+    /// The user's migration request arrives.
+    MigrationRequest,
+    /// A strategy-armed timer fired (token chosen by the coordinator).
+    StrategyTimer { token: u32 },
+    /// Failure injection: instance becomes unresponsive.
+    OutageStart { instance: usize },
+    /// Failure injection: instance recovers.
+    OutageEnd { instance: usize },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_item_wraps_both_kinds() {
+        let d = QueueItem::Data(DataEvent {
+            id: 7,
+            root: RootId(1),
+            generated_at: SimTime::ZERO,
+            replayed: false,
+        });
+        assert!(matches!(d, QueueItem::Data(_)));
+        let c = QueueItem::Control(ControlEvent {
+            kind: ControlKind::Prepare,
+            wave: 0,
+            from: ControlSender::CheckpointSource(TaskId::from_index(0)),
+        });
+        assert!(matches!(c, QueueItem::Control(_)));
+    }
+
+    #[test]
+    fn control_sender_distinguishes_spout_and_upstream() {
+        let a = ControlSender::CheckpointSource(TaskId::from_index(0));
+        let b = ControlSender::Upstream(InstanceId::from_index(0));
+        assert_ne!(a, b);
+    }
+}

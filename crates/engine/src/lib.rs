@@ -1,0 +1,50 @@
+//! # flowmig-engine
+//!
+//! A deterministic, virtual-time simulation of a Storm-like Distributed
+//! Stream Processing System (DSPS) — the substrate for the `flowmig`
+//! reproduction of *"Toward Reliable and Rapid Elasticity for Streaming
+//! Dataflows on Clouds"* (Shukla & Simmhan, ICDCS 2018).
+//!
+//! Faithfully modelled mechanisms (see `DESIGN.md` §5):
+//!
+//! * **task instances** with single-threaded FIFO input queues shared by
+//!   data and control events;
+//! * **shuffle routing** between data-parallel instances, with per-VM
+//!   network latencies;
+//! * the **acker service** ([`Acker`]): XOR ledgers over causal tuple
+//!   trees, 30 s timeouts, source-side replay with `max.spout.pending`
+//!   throttling;
+//! * **checkpoint waves** (PREPARE/COMMIT/ROLLBACK/INIT) with sequential
+//!   (barrier-aligned, edge-wired) or broadcast (hub-and-spoke) routing;
+//! * **capture semantics** for CCR (pending-event lists persisted and
+//!   resumed);
+//! * a latency-modelled **state store** ([`StateStore`], the paper's Redis);
+//! * **rebalance** (kill + respawn with worker start-up delays) and failure
+//!   injection.
+//!
+//! Strategies drive the engine through the [`MigrationCoordinator`] trait
+//! and its [`EngineCtl`] handle — the mechanisms live here, the policy in
+//! `flowmig-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acker;
+mod config;
+mod engine;
+mod event;
+mod instance;
+mod protocol;
+#[cfg(test)]
+mod protocol_tests;
+mod stats;
+mod store;
+
+pub use acker::{AckOutcome, Acker};
+pub use config::{EngineConfig, StoreLatencyModel};
+pub use engine::{Engine, EngineCtl};
+pub use event::{ControlEvent, ControlSender, DataEvent, QueueItem};
+pub use instance::WorkerStatus;
+pub use protocol::{resend, MigrationCoordinator, NoopCoordinator, ProtocolConfig, WaveRouting};
+pub use stats::EngineStats;
+pub use store::{StateBlob, StateStore};

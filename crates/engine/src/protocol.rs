@@ -1,0 +1,163 @@
+//! Checkpoint-protocol configuration and the coordinator interface.
+//!
+//! The engine implements the *mechanisms* — queues, waves, alignment,
+//! capture, rebalance, acking — while a [`MigrationCoordinator`] (the
+//! strategies in `flowmig-core`) supplies the *policy*: which waves to send
+//! in what order, how they are routed, and when to rebalance and resume.
+
+use crate::engine::EngineCtl;
+use flowmig_metrics::ControlKind;
+use flowmig_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How a control wave reaches the dataflow's instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WaveRouting {
+    /// Along the dataflow edges, entering at the root tasks and forwarded
+    /// task-to-task with barrier alignment — the wave sweeps *behind* all
+    /// in-flight user events (DCR's PREPARE, every strategy's COMMIT).
+    Sequential,
+    /// Hub-and-spoke directly from the checkpoint source to the end of
+    /// every instance's input queue (CCR's PREPARE and INIT).
+    Broadcast,
+}
+
+/// Static protocol behaviour selected by a strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Ack every user event through the acker service (DSM; DCR/CCR enable
+    /// reliability only for checkpoint events — §3.1).
+    pub ack_user_events: bool,
+    /// Run periodic checkpoints at `EngineConfig::checkpoint_interval`
+    /// (DSM's always-on 30 s checkpointing).
+    pub periodic_checkpoint: bool,
+    /// PREPARE starts capture (CCR) instead of snapshotting state (DCR).
+    pub capture_on_prepare: bool,
+    /// COMMIT persists the captured pending-event list along with the user
+    /// state (CCR).
+    pub persist_pending: bool,
+}
+
+impl ProtocolConfig {
+    /// Protocol behaviour of Default Storm Migration: acking on for all
+    /// events, periodic checkpointing, no capture.
+    pub fn dsm() -> Self {
+        ProtocolConfig {
+            ack_user_events: true,
+            periodic_checkpoint: true,
+            capture_on_prepare: false,
+            persist_pending: false,
+        }
+    }
+
+    /// Protocol behaviour of Drain-Checkpoint-Restore: reliability only for
+    /// checkpoint events, just-in-time checkpoint, drain semantics.
+    pub fn dcr() -> Self {
+        ProtocolConfig {
+            ack_user_events: false,
+            periodic_checkpoint: false,
+            capture_on_prepare: false,
+            persist_pending: false,
+        }
+    }
+
+    /// Protocol behaviour of Capture-Checkpoint-Resume: like DCR, plus
+    /// capture-on-PREPARE and pending-list persistence.
+    pub fn ccr() -> Self {
+        ProtocolConfig {
+            ack_user_events: false,
+            periodic_checkpoint: false,
+            capture_on_prepare: true,
+            persist_pending: true,
+        }
+    }
+}
+
+/// Policy hooks through which a migration strategy drives the engine.
+///
+/// All methods receive an [`EngineCtl`] handle exposing the control-plane
+/// operations (pause/unpause sources, start waves, rebalance, phase marks).
+/// The engine performs all per-instance mechanics; the coordinator only
+/// sequences phases.
+pub trait MigrationCoordinator {
+    /// Strategy name for reports (e.g. `"DSM"`).
+    fn name(&self) -> &'static str;
+
+    /// The user requested the migration (the paper's time 0).
+    fn on_migration_requested(&mut self, ctl: &mut EngineCtl<'_, '_>);
+
+    /// Every participating instance has acked the current `kind` wave.
+    fn on_wave_complete(&mut self, kind: ControlKind, ctl: &mut EngineCtl<'_, '_>);
+
+    /// Storm's rebalance command finished; workers are respawning.
+    fn on_rebalance_complete(&mut self, ctl: &mut EngineCtl<'_, '_>);
+
+    /// A resend timer armed via [`EngineCtl::schedule_resend`] fired.
+    fn on_resend_timer(&mut self, kind: ControlKind, ctl: &mut EngineCtl<'_, '_>);
+
+    /// The periodic checkpoint timer fired (only when
+    /// [`ProtocolConfig::periodic_checkpoint`] is set).
+    fn on_checkpoint_timer(&mut self, ctl: &mut EngineCtl<'_, '_>) {
+        let _ = ctl;
+    }
+
+    /// A timer armed via [`EngineCtl::schedule_timer`] fired.
+    fn on_timer(&mut self, token: u32, ctl: &mut EngineCtl<'_, '_>) {
+        let _ = (token, ctl);
+    }
+}
+
+/// A coordinator that never migrates — steady-state runs and unit tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopCoordinator;
+
+impl MigrationCoordinator for NoopCoordinator {
+    fn name(&self) -> &'static str {
+        "noop"
+    }
+
+    fn on_migration_requested(&mut self, _ctl: &mut EngineCtl<'_, '_>) {}
+
+    fn on_wave_complete(&mut self, _kind: ControlKind, _ctl: &mut EngineCtl<'_, '_>) {}
+
+    fn on_rebalance_complete(&mut self, _ctl: &mut EngineCtl<'_, '_>) {}
+
+    fn on_resend_timer(&mut self, _kind: ControlKind, _ctl: &mut EngineCtl<'_, '_>) {}
+}
+
+/// Resend cadences used by the strategies (§3/§5.1: DCR and CCR re-emit
+/// INIT every second; DSM relies on the 30 s ack-timeout).
+pub mod resend {
+    use super::SimDuration;
+
+    /// DCR/CCR INIT re-emission interval.
+    pub const FAST: SimDuration = SimDuration::from_secs(1);
+    /// DSM's INIT retry interval (the acking timeout).
+    pub const ACK_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_protocol_matrix() {
+        let dsm = ProtocolConfig::dsm();
+        assert!(dsm.ack_user_events && dsm.periodic_checkpoint);
+        assert!(!dsm.capture_on_prepare && !dsm.persist_pending);
+
+        let dcr = ProtocolConfig::dcr();
+        assert!(!dcr.ack_user_events && !dcr.periodic_checkpoint);
+        assert!(!dcr.capture_on_prepare && !dcr.persist_pending);
+
+        let ccr = ProtocolConfig::ccr();
+        assert!(!ccr.ack_user_events && !ccr.periodic_checkpoint);
+        assert!(ccr.capture_on_prepare && ccr.persist_pending);
+    }
+
+    #[test]
+    fn resend_constants_match_paper() {
+        assert_eq!(resend::FAST.as_secs_f64(), 1.0);
+        assert_eq!(resend::ACK_TIMEOUT.as_secs_f64(), 30.0);
+    }
+}

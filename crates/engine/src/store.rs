@@ -1,0 +1,164 @@
+//! The checkpoint state store (the paper's Redis v3.2.8).
+//!
+//! Tasks persist a [`StateBlob`] — their user state plus, for CCR, the
+//! captured pending-event list — keyed by instance. Operation latency is
+//! charged by the engine using [`StoreLatencyModel`](crate::StoreLatencyModel);
+//! this type only models durability semantics and byte-counting.
+
+use crate::event::DataEvent;
+use flowmig_topology::InstanceId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A checkpointed snapshot of one task instance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StateBlob {
+    /// The user state: for the paper's dummy tasks, a running count of
+    /// processed events (enough to verify state continuity end to end).
+    pub processed: u64,
+    /// Captured in-flight events (CCR only; empty for DCR/DSM).
+    pub pending: Vec<DataEvent>,
+}
+
+impl StateBlob {
+    /// A snapshot with no pending events.
+    pub fn of_count(processed: u64) -> Self {
+        StateBlob { processed, pending: Vec::new() }
+    }
+
+    /// Number of captured pending events (drives persist/fetch latency).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// The key-value checkpoint store.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_engine::{StateBlob, StateStore};
+/// use flowmig_topology::InstanceId;
+///
+/// let mut store = StateStore::new();
+/// let i = InstanceId::from_index(0);
+/// store.put(i, StateBlob::of_count(42));
+/// assert_eq!(store.get(i).unwrap().processed, 42);
+/// assert_eq!(store.puts(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StateStore {
+    blobs: HashMap<InstanceId, StateBlob>,
+    puts: u64,
+    gets: u64,
+}
+
+impl StateStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Persists (overwrites) the blob for `instance`.
+    pub fn put(&mut self, instance: InstanceId, blob: StateBlob) {
+        self.puts += 1;
+        self.blobs.insert(instance, blob);
+    }
+
+    /// Fetches the last committed blob for `instance`, if any.
+    ///
+    /// Returns a clone: the store keeps its copy (restores may repeat, e.g.
+    /// duplicate INITs).
+    pub fn get(&mut self, instance: InstanceId) -> Option<StateBlob> {
+        self.gets += 1;
+        self.blobs.get(&instance).cloned()
+    }
+
+    /// Whether a blob exists for `instance` (no latency charged — used by
+    /// tests and invariant checks, not the data path).
+    pub fn contains(&self, instance: InstanceId) -> bool {
+        self.blobs.contains_key(&instance)
+    }
+
+    /// Size of the stored pending list for `instance` without counting as a
+    /// fetch — the engine uses this to price the restore round-trip before
+    /// performing it.
+    pub fn peek_pending_len(&self, instance: InstanceId) -> Option<usize> {
+        self.blobs.get(&instance).map(|b| b.pending.len())
+    }
+
+    /// Number of committed blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Returns true if nothing has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Total persist operations performed.
+    pub fn puts(&self) -> u64 {
+        self.puts
+    }
+
+    /// Total fetch operations performed.
+    pub fn gets(&self) -> u64 {
+        self.gets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmig_metrics::RootId;
+    use flowmig_sim::SimTime;
+
+    #[test]
+    fn put_get_round_trip_with_pending() {
+        let mut store = StateStore::new();
+        let i = InstanceId::from_index(3);
+        let blob = StateBlob {
+            processed: 7,
+            pending: vec![DataEvent {
+                id: 1,
+                root: RootId(9),
+                generated_at: SimTime::from_secs(1),
+                replayed: false,
+            }],
+        };
+        store.put(i, blob.clone());
+        assert_eq!(store.get(i), Some(blob));
+        assert!(store.contains(i));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn missing_instance_returns_none() {
+        let mut store = StateStore::new();
+        assert_eq!(store.get(InstanceId::from_index(5)), None);
+        assert_eq!(store.gets(), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn overwrite_keeps_latest() {
+        let mut store = StateStore::new();
+        let i = InstanceId::from_index(0);
+        store.put(i, StateBlob::of_count(1));
+        store.put(i, StateBlob::of_count(2));
+        assert_eq!(store.get(i).unwrap().processed, 2);
+        assert_eq!(store.puts(), 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn repeated_get_is_idempotent() {
+        let mut store = StateStore::new();
+        let i = InstanceId::from_index(0);
+        store.put(i, StateBlob::of_count(5));
+        assert_eq!(store.get(i).unwrap().processed, 5);
+        assert_eq!(store.get(i).unwrap().processed, 5);
+        assert_eq!(store.gets(), 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! The paper's §4 migration quality metrics, computed from a trace.
+
+use crate::stability::{find_stabilization, StabilityCriteria};
+use crate::timeline::RateTimeline;
+use crate::trace::{MigrationPhase, TraceLog};
+use flowmig_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// All seven §4 metrics for one migration run.
+///
+/// Times 1–6 are reported **relative to the migration request** (the paper
+/// plots them on an axis where the request is time 0). `None` means the
+/// metric does not apply to the strategy (e.g. drain time for DSM, recovery
+/// time for DCR/CCR) or the run never reached the state (e.g. never
+/// stabilized before the horizon).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MigrationMetrics {
+    /// 1) Restore duration: request → first sink arrival after the request.
+    pub restore: Option<SimDuration>,
+    /// 2) Drain/Capture duration: request → rebalance initiation (all
+    ///    COMMITs acked). Not applicable (None) for DSM.
+    pub drain_capture: Option<SimDuration>,
+    /// 3) Rebalance duration: span of the rebalance command.
+    pub rebalance: Option<SimDuration>,
+    /// 4) Catchup time: request → last pre-request root at sink (DSM/CCR).
+    pub catchup: Option<SimDuration>,
+    /// 5) Recovery time: request → last replayed post-request root at sink
+    ///    (DSM only).
+    pub recovery: Option<SimDuration>,
+    /// 6) Rate stabilization time: request → start of the first 60 s window
+    ///    with output within 20 % of expected.
+    pub stabilization: Option<SimDuration>,
+    /// 7) Message loss/recovery count: roots failed and replayed.
+    pub replayed_messages: u64,
+    /// Data events dropped at dead/absent instances (component of 7).
+    pub dropped_messages: u64,
+}
+
+impl MigrationMetrics {
+    /// Computes all metrics from a trace.
+    ///
+    /// `criteria` supplies the expected output rate and stability band;
+    /// `bucket` is the throughput bucket width (paper: 10 s).
+    ///
+    /// Returns a zeroed struct if the trace records no migration request.
+    pub fn from_trace(log: &TraceLog, criteria: &StabilityCriteria, bucket: SimDuration) -> Self {
+        let Some(req) = log.migration_requested_at() else {
+            return Self::default();
+        };
+        let rel = |t: SimTime| t.saturating_since(req);
+
+        // Restore: first sink arrival after the dataflow goes dark. The
+        // rebalance kills every migrating instance, so nothing can reach a
+        // sink until redeployment completes — except events already in
+        // network flight to the sink at the kill instant (a few ms), which
+        // the paper does not count ("during this period there will be no
+        // output events"). Baseline on the rebalance END: correct for all
+        // strategies and free of those millisecond stragglers.
+        let rebalance_end = log.phase_span(MigrationPhase::Rebalance).map_or(req, |(_, e)| e);
+        let restore = log.first_sink_arrival_after(rebalance_end).map(rel);
+        let drain_capture = log
+            .phase_span(MigrationPhase::Drain)
+            .zip(log.phase_span(MigrationPhase::Commit))
+            .map(|((_, _), (_, commit_end))| rel(commit_end));
+        let rebalance = log.phase_span(MigrationPhase::Rebalance).map(|(s, e)| e - s);
+        // Catchup counts old events that *survive* the migration — i.e.
+        // arrive after the redeployment. Old events drained before the
+        // kill (DCR) don't count: the paper reports no catchup for DCR.
+        let catchup = log.last_old_sink_arrival().filter(|&t| t >= rebalance_end).map(rel);
+        let recovery = log.last_replayed_new_sink_arrival().map(rel);
+
+        let timeline = RateTimeline::from_trace(log, bucket);
+        let stabilization = find_stabilization(&timeline, criteria, req).map(rel);
+
+        MigrationMetrics {
+            restore,
+            drain_capture,
+            rebalance,
+            catchup,
+            recovery,
+            stabilization,
+            replayed_messages: log.replayed_count(),
+            dropped_messages: log.dropped_count(),
+        }
+    }
+
+    /// Total user-visible migration span: the maximum of restore, catchup
+    /// and recovery (the top of the stacked bars in Fig. 5).
+    pub fn total_migration(&self) -> Option<SimDuration> {
+        [self.restore, self.catchup, self.recovery].into_iter().flatten().max()
+    }
+}
+
+fn fmt_opt(d: Option<SimDuration>) -> String {
+    match d {
+        Some(d) => format!("{:.1}s", d.as_secs_f64()),
+        None => "-".to_owned(),
+    }
+}
+
+impl fmt::Display for MigrationMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "restore={} drain={} rebalance={} catchup={} recovery={} stabilization={} replayed={} dropped={}",
+            fmt_opt(self.restore),
+            fmt_opt(self.drain_capture),
+            fmt_opt(self.rebalance),
+            fmt_opt(self.catchup),
+            fmt_opt(self.recovery),
+            fmt_opt(self.stabilization),
+            self.replayed_messages,
+            self.dropped_messages,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{RootId, TraceEvent};
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    /// A miniature DSM-shaped trace: request at 180 s, rebalance 180–187,
+    /// zero output until 240 s, old root lands at 260 s, replayed new root
+    /// at 290 s, steady 8 ev/s output resuming at 300 s.
+    fn dsm_like_trace() -> TraceLog {
+        let mut log = TraceLog::new();
+        // Steady state before migration: 8 ev/s output 0–180 s.
+        let mut root = 0u64;
+        for s in 0..180u64 {
+            for k in 0..8u64 {
+                let at = SimTime::from_millis(s * 1000 + k * 125);
+                log.record(TraceEvent::SinkArrival {
+                    root: RootId(root),
+                    at,
+                    generated_at: at,
+                    old: true,
+                    replayed: false,
+                });
+                root += 1;
+            }
+        }
+        log.record(TraceEvent::MigrationRequested { at: t(180) });
+        log.record(TraceEvent::PhaseStarted { phase: MigrationPhase::Rebalance, at: t(180) });
+        log.record(TraceEvent::PhaseEnded { phase: MigrationPhase::Rebalance, at: t(187) });
+        log.record(TraceEvent::SourceEmit { root: RootId(900_000), at: t(210), replay: true });
+        log.record(TraceEvent::SourceEmit { root: RootId(900_001), at: t(211), replay: true });
+        // First output after request at 240 s; old root at 260; replayed new at 290.
+        log.record(TraceEvent::SinkArrival {
+            root: RootId(900_002),
+            at: t(240),
+            generated_at: t(200),
+            old: false,
+            replayed: false,
+        });
+        log.record(TraceEvent::SinkArrival {
+            root: RootId(900_000),
+            at: t(260),
+            generated_at: t(179),
+            old: true,
+            replayed: true,
+        });
+        log.record(TraceEvent::SinkArrival {
+            root: RootId(900_001),
+            at: t(290),
+            generated_at: t(200),
+            old: false,
+            replayed: true,
+        });
+        // Steady output from 300 s to 420 s.
+        for s in 300..420u64 {
+            for k in 0..8u64 {
+                let at = SimTime::from_millis(s * 1000 + k * 125);
+                log.record(TraceEvent::SinkArrival {
+                    root: RootId(root),
+                    at,
+                    generated_at: at,
+                    old: false,
+                    replayed: false,
+                });
+                root += 1;
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn dsm_shaped_metrics() {
+        let log = dsm_like_trace();
+        let m = MigrationMetrics::from_trace(
+            &log,
+            &StabilityCriteria::paper(8.0),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(m.restore, Some(SimDuration::from_secs(60)));
+        assert_eq!(m.drain_capture, None); // no drain/commit phases for DSM
+        assert_eq!(m.rebalance, Some(SimDuration::from_secs(7)));
+        assert_eq!(m.catchup, Some(SimDuration::from_secs(80))); // 260-180
+        assert_eq!(m.recovery, Some(SimDuration::from_secs(110))); // 290-180
+        assert_eq!(m.stabilization, Some(SimDuration::from_secs(120))); // 300 s
+        assert_eq!(m.replayed_messages, 2);
+        assert_eq!(m.total_migration(), Some(SimDuration::from_secs(110)));
+    }
+
+    #[test]
+    fn drain_metric_requires_both_phases() {
+        let mut log = TraceLog::new();
+        log.record(TraceEvent::MigrationRequested { at: t(10) });
+        log.record(TraceEvent::PhaseStarted { phase: MigrationPhase::Drain, at: t(10) });
+        log.record(TraceEvent::PhaseEnded { phase: MigrationPhase::Drain, at: t(12) });
+        log.record(TraceEvent::PhaseStarted { phase: MigrationPhase::Commit, at: t(12) });
+        log.record(TraceEvent::PhaseEnded { phase: MigrationPhase::Commit, at: t(13) });
+        let m = MigrationMetrics::from_trace(
+            &log,
+            &StabilityCriteria::paper(8.0),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(m.drain_capture, Some(SimDuration::from_secs(3)));
+    }
+
+    #[test]
+    fn no_request_yields_default() {
+        let log = TraceLog::new();
+        let m = MigrationMetrics::from_trace(
+            &log,
+            &StabilityCriteria::paper(8.0),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(m, MigrationMetrics::default());
+        assert_eq!(m.total_migration(), None);
+    }
+
+    #[test]
+    fn display_renders_dashes_for_missing() {
+        let m = MigrationMetrics::default();
+        let s = m.to_string();
+        assert!(s.contains("restore=-"));
+        assert!(s.contains("replayed=0"));
+    }
+
+    #[test]
+    fn catchup_ignores_pre_request_old_arrivals() {
+        // Old roots that landed *before* the request must not register as
+        // catchup (DCR: no old events after migration).
+        let mut log = TraceLog::new();
+        log.record(TraceEvent::SinkArrival {
+            root: RootId(1),
+            at: t(5),
+            generated_at: t(4),
+            old: true,
+            replayed: false,
+        });
+        log.record(TraceEvent::MigrationRequested { at: t(10) });
+        let m = MigrationMetrics::from_trace(
+            &log,
+            &StabilityCriteria::paper(8.0),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(m.catchup, None);
+    }
+}

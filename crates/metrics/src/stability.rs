@@ -1,0 +1,155 @@
+//! Rate stabilization detection (§4 metric 6).
+//!
+//! The paper defines stability as "the observed output rate sustained
+//! within 20 % of the expected output rate for 60 secs. The start of this
+//! stable time window indicates stabilization."
+
+use crate::timeline::RateTimeline;
+use flowmig_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the stabilization detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StabilityCriteria {
+    /// Expected steady output rate (ev/s), e.g. 32 for Grid.
+    pub expected_rate_hz: f64,
+    /// Relative tolerance band (paper: 0.2 = ±20 %).
+    pub tolerance: f64,
+    /// Length of the window that must stay in band (paper: 60 s).
+    pub window: SimDuration,
+}
+
+impl StabilityCriteria {
+    /// The paper's criteria for a dataflow with the given expected rate.
+    pub fn paper(expected_rate_hz: f64) -> Self {
+        StabilityCriteria { expected_rate_hz, tolerance: 0.2, window: SimDuration::from_secs(60) }
+    }
+
+    /// Whether `rate_hz` is within the tolerance band.
+    pub fn in_band(&self, rate_hz: f64) -> bool {
+        (rate_hz - self.expected_rate_hz).abs() <= self.tolerance * self.expected_rate_hz
+    }
+}
+
+/// Finds the start of the first window of `criteria.window` length, at or
+/// after `from`, in which every bucket's output rate stays in band.
+///
+/// Returns `None` if no such window exists within the timeline (the run
+/// never re-stabilized before the horizon).
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_metrics::{find_stabilization, RateTimeline, RootId, StabilityCriteria,
+///                       TraceEvent, TraceLog};
+/// use flowmig_sim::{SimDuration, SimTime};
+///
+/// // 8 ev/s steady output for 120 s.
+/// let mut log = TraceLog::new();
+/// for i in 0..960u64 {
+///     log.record(TraceEvent::SinkArrival {
+///         root: RootId(i),
+///         at: SimTime::from_millis(i * 125),
+///         generated_at: SimTime::from_millis(i * 125),
+///         old: false,
+///         replayed: false,
+///     });
+/// }
+/// let tl = RateTimeline::from_trace(&log, SimDuration::from_secs(10));
+/// let t = find_stabilization(&tl, &StabilityCriteria::paper(8.0), SimTime::ZERO);
+/// assert_eq!(t, Some(SimTime::ZERO));
+/// ```
+pub fn find_stabilization(
+    timeline: &RateTimeline,
+    criteria: &StabilityCriteria,
+    from: SimTime,
+) -> Option<SimTime> {
+    let bucket_us = timeline.bucket().as_micros();
+    let need = (criteria.window.as_micros().div_ceil(bucket_us)) as usize;
+    if need == 0 || timeline.len() < need {
+        return None;
+    }
+    let first = (from.as_micros().div_ceil(bucket_us)) as usize;
+    'outer: for start in first..=(timeline.len() - need) {
+        for i in start..start + need {
+            if !criteria.in_band(timeline.output_rate_hz(i)) {
+                continue 'outer;
+            }
+        }
+        return Some(timeline.bucket_start(start));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{RootId, TraceEvent, TraceLog};
+
+    /// Builds a trace whose output rate per 10 s bucket follows `rates`.
+    fn trace_with_rates(rates: &[u32]) -> RateTimeline {
+        let mut log = TraceLog::new();
+        let mut root = 0u64;
+        for (b, &per_sec) in rates.iter().enumerate() {
+            for s in 0..10u64 {
+                for k in 0..per_sec as u64 {
+                    let at = SimTime::from_millis((b as u64 * 10 + s) * 1000 + k * (1000 / per_sec.max(1) as u64).max(1));
+                    log.record(TraceEvent::SinkArrival {
+                        root: RootId(root),
+                        at,
+                        generated_at: at,
+                        old: false,
+                        replayed: false,
+                    });
+                    root += 1;
+                }
+            }
+        }
+        // NOTE: arrivals are generated bucket-major so time order holds.
+        RateTimeline::from_trace(&log, SimDuration::from_secs(10))
+    }
+
+    #[test]
+    fn detects_start_of_stable_window() {
+        // 0 output for 3 buckets (migration), overload at 12 ev/s for 2,
+        // then steady 8 ev/s.
+        let tl = trace_with_rates(&[8, 8, 0, 0, 0, 12, 12, 8, 8, 8, 8, 8, 8, 8]);
+        let c = StabilityCriteria::paper(8.0);
+        let at = find_stabilization(&tl, &c, SimTime::from_secs(20)).unwrap();
+        assert_eq!(at, SimTime::from_secs(70));
+    }
+
+    #[test]
+    fn band_is_relative() {
+        let c = StabilityCriteria::paper(32.0);
+        assert!(c.in_band(32.0));
+        assert!(c.in_band(38.4)); // +20 %
+        assert!(c.in_band(25.6)); // -20 %
+        assert!(!c.in_band(38.5));
+        assert!(!c.in_band(25.5));
+        assert!(!c.in_band(0.0));
+    }
+
+    #[test]
+    fn never_stable_returns_none() {
+        let tl = trace_with_rates(&[0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(find_stabilization(&tl, &StabilityCriteria::paper(8.0), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn window_must_fit_in_timeline() {
+        let tl = trace_with_rates(&[8, 8, 8]); // only 30 s of data
+        assert_eq!(find_stabilization(&tl, &StabilityCriteria::paper(8.0), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn from_bound_is_respected() {
+        let tl = trace_with_rates(&[8, 8, 8, 8, 8, 8, 8, 8, 8, 8]);
+        let c = StabilityCriteria::paper(8.0);
+        assert_eq!(find_stabilization(&tl, &c, SimTime::ZERO), Some(SimTime::ZERO));
+        assert_eq!(
+            find_stabilization(&tl, &c, SimTime::from_secs(15)),
+            Some(SimTime::from_secs(20))
+        );
+    }
+}

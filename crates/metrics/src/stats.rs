@@ -1,0 +1,228 @@
+//! Small summary-statistics helpers for aggregating across seeds/runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Online summary of a sample: count, mean, min, max, standard deviation.
+///
+/// Uses Welford's algorithm so it is numerically stable for long runs.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_metrics::Summary;
+///
+/// let s: Summary = [7.1, 7.3, 7.2].into_iter().collect();
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 7.2).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not finite.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "observations must be finite");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Population standard deviation (0 for fewer than two observations).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.2} max={:.2}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// Median of a slice (interpolated for even lengths). Returns `None` for an
+/// empty slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("values must be comparable"));
+    let n = v.len();
+    Some(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
+}
+
+/// Percentile of a slice by the nearest-rank method (`q` in `[0, 1]`).
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or not finite.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_metrics::percentile;
+/// let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+/// assert_eq!(percentile(&xs, 0.5), Some(5.0));
+/// assert_eq!(percentile(&xs, 0.99), Some(10.0));
+/// assert_eq!(percentile(&xs, 0.0), Some(1.0));
+/// ```
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    assert!(q.is_finite() && (0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("values must be comparable"));
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    Some(v[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut s = Summary::new();
+        s.add(7.26);
+        assert_eq!(s.mean(), 7.26);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), Some(7.26));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        Summary::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.50), Some(50.0));
+        assert_eq!(percentile(&xs, 0.95), Some(95.0));
+        assert_eq!(percentile(&xs, 0.999), Some(100.0));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 1.0), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn percentile_rejects_bad_quantile() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = Summary::new();
+        s.extend([1.0, 2.0]);
+        s.extend([3.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Generic discrete-event execution loop.
+//!
+//! A model implements [`Process`]; the [`Simulation`] pops the earliest
+//! pending event, advances virtual time, and hands the event to the model
+//! together with a [`Scheduler`] for follow-up events. The loop is strictly
+//! sequential and single-threaded, which — combined with the deterministic
+//! [`EventQueue`](crate::EventQueue) and [`SimRng`](crate::SimRng) — makes
+//! runs bit-reproducible.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle through which a [`Process`] schedules follow-up events.
+#[derive(Debug)]
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` from now.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is in the past; events cannot rewrite
+    /// history.
+    pub fn at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedules `event` to fire immediately (at the current instant, after
+    /// already-queued events for this instant).
+    pub fn now_event(&mut self, event: E) {
+        self.queue.schedule(self.now, event);
+    }
+}
+
+/// A simulated system driven by events of type `E`.
+pub trait Process<E> {
+    /// Handles one event at virtual time `sched.now()`, scheduling any
+    /// follow-up events through `sched`.
+    fn handle(&mut self, event: E, sched: &mut Scheduler<'_, E>);
+}
+
+/// Outcome of [`Simulation::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The event queue drained before the horizon.
+    Quiescent,
+    /// The configured event budget was exhausted (guards against livelock).
+    BudgetExhausted,
+}
+
+/// The simulation driver: owns the clock and the future-event list.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_sim::{Process, RunOutcome, Scheduler, SimDuration, SimTime, Simulation};
+///
+/// struct Counter(u32);
+/// impl Process<&'static str> for Counter {
+///     fn handle(&mut self, ev: &'static str, sched: &mut Scheduler<'_, &'static str>) {
+///         self.0 += 1;
+///         if ev == "tick" && self.0 < 3 {
+///             sched.after(SimDuration::from_secs(1), "tick");
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new();
+/// sim.schedule(SimTime::ZERO, "tick");
+/// let mut model = Counter(0);
+/// let outcome = sim.run_until(&mut model, SimTime::from_secs(10));
+/// assert_eq!(outcome, RunOutcome::Quiescent);
+/// assert_eq!(model.0, 3);
+/// assert_eq!(sim.now(), SimTime::from_secs(2));
+/// ```
+#[derive(Debug)]
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+    budget: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Default per-run event budget; large enough for any paper experiment,
+    /// small enough to catch accidental event storms in tests.
+    pub const DEFAULT_BUDGET: u64 = 200_000_000;
+
+    /// Creates an idle simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            budget: Self::DEFAULT_BUDGET,
+        }
+    }
+
+    /// Caps the number of events a single `run_until` may process.
+    pub fn set_budget(&mut self, budget: u64) {
+        self.budget = budget;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an initial or external event.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.queue.schedule(at, event);
+    }
+
+    /// Runs the model until `horizon` (inclusive), the queue drains, or the
+    /// event budget is exhausted. Time never advances beyond `horizon`.
+    pub fn run_until<P: Process<E>>(&mut self, model: &mut P, horizon: SimTime) -> RunOutcome {
+        let mut spent: u64 = 0;
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Quiescent,
+                Some(t) if t > horizon => {
+                    self.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            if spent >= self.budget {
+                return RunOutcome::BudgetExhausted;
+            }
+            let (t, event) = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(t >= self.now, "event queue produced a past event");
+            self.now = t;
+            let mut sched = Scheduler { now: self.now, queue: &mut self.queue };
+            model.handle(event, &mut sched);
+            self.processed += 1;
+            spent += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    enum Ev {
+        Emit(u32),
+        Chain(u32),
+    }
+
+    impl Process<Ev> for Recorder {
+        fn handle(&mut self, ev: Ev, sched: &mut Scheduler<'_, Ev>) {
+            match ev {
+                Ev::Emit(v) => self.seen.push((sched.now().as_micros(), v)),
+                Ev::Chain(n) => {
+                    self.seen.push((sched.now().as_micros(), n));
+                    if n > 0 {
+                        sched.after(SimDuration::from_micros(10), Ev::Chain(n - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runs_chained_events_to_quiescence() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::ZERO, Ev::Chain(4));
+        let mut model = Recorder::default();
+        assert_eq!(sim.run_until(&mut model, SimTime::from_secs(1)), RunOutcome::Quiescent);
+        assert_eq!(model.seen.len(), 5);
+        assert_eq!(sim.now().as_micros(), 40);
+        assert_eq!(sim.processed(), 5);
+    }
+
+    #[test]
+    fn horizon_stops_time() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_secs(100), Ev::Emit(1));
+        let mut model = Recorder::default();
+        assert_eq!(sim.run_until(&mut model, SimTime::from_secs(10)), RunOutcome::HorizonReached);
+        assert!(model.seen.is_empty());
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        // The pending event is preserved and fires on a later run.
+        assert_eq!(sim.run_until(&mut model, SimTime::from_secs(200)), RunOutcome::Quiescent);
+        assert_eq!(model.seen.len(), 1);
+    }
+
+    #[test]
+    fn budget_guards_against_livelock() {
+        struct Livelock;
+        impl Process<()> for Livelock {
+            fn handle(&mut self, _: (), sched: &mut Scheduler<'_, ()>) {
+                sched.now_event(());
+            }
+        }
+        let mut sim = Simulation::new();
+        sim.set_budget(1_000);
+        sim.schedule(SimTime::ZERO, ());
+        assert_eq!(sim.run_until(&mut Livelock, SimTime::MAX), RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn same_instant_events_fire_in_schedule_order() {
+        let mut sim = Simulation::new();
+        let t = SimTime::from_millis(1);
+        sim.schedule(t, Ev::Emit(1));
+        sim.schedule(t, Ev::Emit(2));
+        sim.schedule(t, Ev::Emit(3));
+        let mut model = Recorder::default();
+        sim.run_until(&mut model, SimTime::from_secs(1));
+        let vals: Vec<u32> = model.seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Incremental construction of [`Dataflow`] graphs.
+
+use crate::graph::{Dataflow, ValidateDataflowError};
+use crate::task::{TaskId, TaskSpec};
+
+/// Builder for [`Dataflow`] ([C-BUILDER]).
+///
+/// Tasks are added first (each returning its [`TaskId`]), then wired with
+/// [`edge`](Self::edge); [`finish`](Self::finish) validates the graph and
+/// freezes it.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_topology::{DataflowBuilder, TaskSpec};
+///
+/// let mut b = DataflowBuilder::new("pipeline");
+/// let src = b.add(TaskSpec::source("src", 8.0));
+/// let xform = b.add(TaskSpec::operator("xform"));
+/// let sink = b.add(TaskSpec::sink("sink"));
+/// b.edge(src, xform).edge(xform, sink);
+/// let dag = b.finish()?;
+/// assert_eq!(dag.len(), 3);
+/// # Ok::<(), flowmig_topology::ValidateDataflowError>(())
+/// ```
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
+#[derive(Debug, Clone, Default)]
+pub struct DataflowBuilder {
+    name: String,
+    tasks: Vec<TaskSpec>,
+    edges: Vec<(TaskId, TaskId)>,
+}
+
+impl DataflowBuilder {
+    /// Starts a new builder for a dataflow called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        DataflowBuilder { name: name.into(), tasks: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Adds a task, returning its id.
+    pub fn add(&mut self, spec: TaskSpec) -> TaskId {
+        let id = TaskId::from_index(self.tasks.len());
+        self.tasks.push(spec);
+        id
+    }
+
+    /// Adds a directed edge `from → to`.
+    pub fn edge(&mut self, from: TaskId, to: TaskId) -> &mut Self {
+        self.edges.push((from, to));
+        self
+    }
+
+    /// Adds a chain of edges through `path` in order.
+    pub fn chain(&mut self, path: &[TaskId]) -> &mut Self {
+        for w in path.windows(2) {
+            self.edges.push((w[0], w[1]));
+        }
+        self
+    }
+
+    /// Validates and freezes the dataflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateDataflowError`] if the graph is not a well-formed
+    /// streaming DAG (missing source/sink, cycles, orphans, duplicate
+    /// names/edges, self-loops, or edges on the wrong side of a terminal).
+    pub fn finish(self) -> Result<Dataflow, ValidateDataflowError> {
+        Dataflow::build(self.name, self.tasks, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_wires_consecutive_pairs() {
+        let mut b = DataflowBuilder::new("c");
+        let s = b.add(TaskSpec::source("src", 8.0));
+        let t1 = b.add(TaskSpec::operator("t1"));
+        let t2 = b.add(TaskSpec::operator("t2"));
+        let k = b.add(TaskSpec::sink("sink"));
+        b.chain(&[s, t1, t2, k]);
+        let dag = b.finish().unwrap();
+        assert_eq!(dag.edges().count(), 3);
+        assert_eq!(dag.downstream(t1), &[t2]);
+    }
+
+    #[test]
+    fn empty_chain_is_noop() {
+        let mut b = DataflowBuilder::new("c");
+        let s = b.add(TaskSpec::source("src", 8.0));
+        let k = b.add(TaskSpec::sink("sink"));
+        b.chain(&[]).chain(&[s]).edge(s, k);
+        assert!(b.finish().is_ok());
+    }
+}

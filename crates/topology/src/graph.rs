@@ -1,0 +1,446 @@
+//! The dataflow graph: tasks wired into a validated DAG.
+
+use crate::task::{TaskId, TaskKind, TaskSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when a dataflow fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateDataflowError {
+    /// The dataflow has no source task.
+    NoSource,
+    /// The dataflow has no sink task.
+    NoSink,
+    /// Two tasks share a name.
+    DuplicateName(String),
+    /// An edge references a task id outside the graph.
+    UnknownTask(TaskId),
+    /// An edge connects a task to itself.
+    SelfLoop(TaskId),
+    /// The same edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// The graph contains a cycle.
+    Cycle,
+    /// A non-source task has no incoming edge.
+    OrphanInput(TaskId),
+    /// A non-sink task has no outgoing edge.
+    OrphanOutput(TaskId),
+    /// A source has an incoming edge, or a sink an outgoing edge.
+    BadTerminalEdge(TaskId),
+}
+
+impl fmt::Display for ValidateDataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSource => write!(f, "dataflow has no source task"),
+            Self::NoSink => write!(f, "dataflow has no sink task"),
+            Self::DuplicateName(n) => write!(f, "duplicate task name `{n}`"),
+            Self::UnknownTask(t) => write!(f, "edge references unknown task {t}"),
+            Self::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            Self::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            Self::Cycle => write!(f, "dataflow contains a cycle"),
+            Self::OrphanInput(t) => write!(f, "non-source task {t} has no input edge"),
+            Self::OrphanOutput(t) => write!(f, "non-sink task {t} has no output edge"),
+            Self::BadTerminalEdge(t) => write!(f, "source/sink task {t} has an edge on the wrong side"),
+        }
+    }
+}
+
+impl Error for ValidateDataflowError {}
+
+/// A validated, immutable streaming dataflow DAG.
+///
+/// Construct one with [`DataflowBuilder`](crate::DataflowBuilder) or pick a
+/// ready-made graph from [`library`](crate::library). All query methods are
+/// `O(1)` or `O(edges)`; derived data (topological order, adjacency) is
+/// precomputed at build time.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_topology::library;
+///
+/// let dag = library::diamond();
+/// assert_eq!(dag.user_tasks().count(), 5);
+/// assert_eq!(dag.sources().count(), 1);
+/// assert_eq!(dag.critical_path_len(), 2); // fan-out task layer + fan-in task
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataflow {
+    name: String,
+    tasks: Vec<TaskSpec>,
+    out_edges: Vec<Vec<TaskId>>,
+    in_edges: Vec<Vec<TaskId>>,
+    topo: Vec<TaskId>,
+}
+
+impl Dataflow {
+    pub(crate) fn build(
+        name: String,
+        tasks: Vec<TaskSpec>,
+        edges: Vec<(TaskId, TaskId)>,
+    ) -> Result<Self, ValidateDataflowError> {
+        let n = tasks.len();
+        let mut names = HashSet::new();
+        for t in &tasks {
+            if !names.insert(t.name().to_owned()) {
+                return Err(ValidateDataflowError::DuplicateName(t.name().to_owned()));
+            }
+        }
+        if !tasks.iter().any(|t| t.kind() == TaskKind::Source) {
+            return Err(ValidateDataflowError::NoSource);
+        }
+        if !tasks.iter().any(|t| t.kind() == TaskKind::Sink) {
+            return Err(ValidateDataflowError::NoSink);
+        }
+
+        let mut out_edges: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let mut in_edges: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let mut seen = HashSet::new();
+        for &(a, b) in &edges {
+            if a.index() >= n {
+                return Err(ValidateDataflowError::UnknownTask(a));
+            }
+            if b.index() >= n {
+                return Err(ValidateDataflowError::UnknownTask(b));
+            }
+            if a == b {
+                return Err(ValidateDataflowError::SelfLoop(a));
+            }
+            if !seen.insert((a, b)) {
+                return Err(ValidateDataflowError::DuplicateEdge(a, b));
+            }
+            if tasks[a.index()].kind() == TaskKind::Sink {
+                return Err(ValidateDataflowError::BadTerminalEdge(a));
+            }
+            if tasks[b.index()].kind() == TaskKind::Source {
+                return Err(ValidateDataflowError::BadTerminalEdge(b));
+            }
+            out_edges[a.index()].push(b);
+            in_edges[b.index()].push(a);
+        }
+
+        for (i, t) in tasks.iter().enumerate() {
+            let id = TaskId::from_index(i);
+            match t.kind() {
+                TaskKind::Source => {
+                    if out_edges[i].is_empty() {
+                        return Err(ValidateDataflowError::OrphanOutput(id));
+                    }
+                }
+                TaskKind::Sink => {
+                    if in_edges[i].is_empty() {
+                        return Err(ValidateDataflowError::OrphanInput(id));
+                    }
+                }
+                TaskKind::Operator => {
+                    if in_edges[i].is_empty() {
+                        return Err(ValidateDataflowError::OrphanInput(id));
+                    }
+                    if out_edges[i].is_empty() {
+                        return Err(ValidateDataflowError::OrphanOutput(id));
+                    }
+                }
+            }
+        }
+
+        // Kahn's algorithm: detects cycles and yields a deterministic
+        // topological order (lowest id first among ready tasks).
+        let mut indeg: Vec<usize> = in_edges.iter().map(Vec::len).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(i) = ready.first().copied() {
+            ready.remove(0);
+            topo.push(TaskId::from_index(i));
+            for &child in &out_edges[i] {
+                indeg[child.index()] -= 1;
+                if indeg[child.index()] == 0 {
+                    // Keep `ready` sorted for determinism.
+                    let pos = ready.partition_point(|&r| r < child.index());
+                    ready.insert(pos, child.index());
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(ValidateDataflowError::Cycle);
+        }
+
+        Ok(Dataflow { name, tasks, out_edges, in_edges, topo })
+    }
+
+    /// The dataflow's name (e.g. `"grid"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tasks, including source(s) and sink(s).
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns true if the dataflow has no tasks (never true for a
+    /// validated graph, provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The specification of task `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a task of this dataflow.
+    pub fn spec(&self, id: TaskId) -> &TaskSpec {
+        &self.tasks[id.index()]
+    }
+
+    /// Looks a task up by name.
+    pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
+        self.tasks.iter().position(|t| t.name() == name).map(TaskId::from_index)
+    }
+
+    /// Iterates over all task ids in insertion order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(TaskId::from_index)
+    }
+
+    /// Iterates over source task ids.
+    pub fn sources(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.of_kind(TaskKind::Source)
+    }
+
+    /// Iterates over sink task ids.
+    pub fn sinks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.of_kind(TaskKind::Sink)
+    }
+
+    /// Iterates over user (operator) task ids — the migratable set.
+    pub fn user_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.of_kind(TaskKind::Operator)
+    }
+
+    fn of_kind(&self, kind: TaskKind) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(move |(_, t)| t.kind() == kind)
+            .map(|(i, _)| TaskId::from_index(i))
+    }
+
+    /// Downstream neighbours of `id`.
+    pub fn downstream(&self, id: TaskId) -> &[TaskId] {
+        &self.out_edges[id.index()]
+    }
+
+    /// Upstream neighbours of `id`.
+    pub fn upstream(&self, id: TaskId) -> &[TaskId] {
+        &self.in_edges[id.index()]
+    }
+
+    /// All edges as `(from, to)` pairs, in task order.
+    pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        self.out_edges.iter().enumerate().flat_map(|(i, outs)| {
+            outs.iter().map(move |&b| (TaskId::from_index(i), b))
+        })
+    }
+
+    /// Tasks in topological order (sources first).
+    pub fn topo_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Length of the longest source→sink path counted in **user tasks**
+    /// (the paper's "critical path" that bounds DCR's drain time).
+    pub fn critical_path_len(&self) -> usize {
+        let mut depth = vec![0usize; self.tasks.len()];
+        let mut best = 0;
+        for &id in &self.topo {
+            let here = depth[id.index()]
+                + usize::from(self.tasks[id.index()].kind() == TaskKind::Operator);
+            if self.tasks[id.index()].kind() == TaskKind::Sink {
+                best = best.max(depth[id.index()]);
+            }
+            for &child in &self.out_edges[id.index()] {
+                depth[child.index()] = depth[child.index()].max(here);
+            }
+        }
+        best
+    }
+
+    /// Sum of source emit rates (the dataflow's steady input rate, ev/s).
+    pub fn input_rate_hz(&self) -> f64 {
+        self.sources().map(|s| self.spec(s).emit_rate_hz()).sum()
+    }
+
+    /// Returns a copy of this dataflow with the specification of `task`
+    /// replaced — the structural wiring is unchanged, so no re-validation
+    /// is needed. Used for online task-logic updates during a migration
+    /// (the paper's §7: "updating the task logic by re-wiring the DAG on
+    /// the fly").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement changes the task's kind (sources and
+    /// sinks are pinned; swapping roles would invalidate the wiring) or if
+    /// `task` is out of range.
+    pub fn with_spec(&self, task: TaskId, spec: TaskSpec) -> Dataflow {
+        assert_eq!(
+            self.tasks[task.index()].kind(),
+            spec.kind(),
+            "a logic update cannot change a task's kind"
+        );
+        let mut updated = self.clone();
+        updated.tasks[task.index()] = spec;
+        updated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DataflowBuilder;
+
+    fn linear3() -> Dataflow {
+        let mut b = DataflowBuilder::new("lin3");
+        let s = b.add(TaskSpec::source("src", 8.0));
+        let t1 = b.add(TaskSpec::operator("t1"));
+        let t2 = b.add(TaskSpec::operator("t2"));
+        let k = b.add(TaskSpec::sink("sink"));
+        b.edge(s, t1).edge(t1, t2).edge(t2, k);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let dag = linear3();
+        let topo = dag.topo_order();
+        let pos = |id: TaskId| topo.iter().position(|&t| t == id).unwrap();
+        for (a, b) in dag.edges() {
+            assert!(pos(a) < pos(b), "{a} must precede {b}");
+        }
+    }
+
+    #[test]
+    fn critical_path_counts_user_tasks_only() {
+        assert_eq!(linear3().critical_path_len(), 2);
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = DataflowBuilder::new("cyc");
+        let s = b.add(TaskSpec::source("src", 8.0));
+        let t1 = b.add(TaskSpec::operator("t1"));
+        let t2 = b.add(TaskSpec::operator("t2"));
+        let k = b.add(TaskSpec::sink("sink"));
+        b.edge(s, t1).edge(t1, t2).edge(t2, t1).edge(t2, k);
+        assert_eq!(b.finish().unwrap_err(), ValidateDataflowError::Cycle);
+    }
+
+    #[test]
+    fn rejects_orphan_operator() {
+        let mut b = DataflowBuilder::new("orphan");
+        let s = b.add(TaskSpec::source("src", 8.0));
+        let t1 = b.add(TaskSpec::operator("t1"));
+        let t2 = b.add(TaskSpec::operator("island"));
+        let k = b.add(TaskSpec::sink("sink"));
+        b.edge(s, t1).edge(t1, k);
+        let err = b.finish().unwrap_err();
+        assert_eq!(err, ValidateDataflowError::OrphanInput(t2));
+    }
+
+    #[test]
+    fn rejects_missing_source_or_sink() {
+        let mut b = DataflowBuilder::new("nosrc");
+        let t1 = b.add(TaskSpec::operator("t1"));
+        let k = b.add(TaskSpec::sink("sink"));
+        b.edge(t1, k);
+        assert_eq!(b.finish().unwrap_err(), ValidateDataflowError::NoSource);
+
+        let mut b = DataflowBuilder::new("nosink");
+        let s = b.add(TaskSpec::source("src", 8.0));
+        let t1 = b.add(TaskSpec::operator("t1"));
+        b.edge(s, t1);
+        assert_eq!(b.finish().unwrap_err(), ValidateDataflowError::NoSink);
+    }
+
+    #[test]
+    fn rejects_edge_into_source_and_out_of_sink() {
+        let mut b = DataflowBuilder::new("bad");
+        let s = b.add(TaskSpec::source("src", 8.0));
+        let t1 = b.add(TaskSpec::operator("t1"));
+        let k = b.add(TaskSpec::sink("sink"));
+        b.edge(s, t1).edge(t1, k).edge(k, t1);
+        assert_eq!(b.finish().unwrap_err(), ValidateDataflowError::BadTerminalEdge(k));
+
+        let mut b = DataflowBuilder::new("bad2");
+        let s = b.add(TaskSpec::source("src", 8.0));
+        let t1 = b.add(TaskSpec::operator("t1"));
+        let k = b.add(TaskSpec::sink("sink"));
+        b.edge(s, t1).edge(t1, k).edge(t1, s);
+        assert_eq!(b.finish().unwrap_err(), ValidateDataflowError::BadTerminalEdge(s));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_and_self_loop() {
+        let mut b = DataflowBuilder::new("dup");
+        let s = b.add(TaskSpec::source("src", 8.0));
+        let t1 = b.add(TaskSpec::operator("t1"));
+        let k = b.add(TaskSpec::sink("sink"));
+        b.edge(s, t1).edge(s, t1).edge(t1, k);
+        assert_eq!(b.finish().unwrap_err(), ValidateDataflowError::DuplicateEdge(s, t1));
+
+        let mut b = DataflowBuilder::new("loop");
+        let s = b.add(TaskSpec::source("src", 8.0));
+        let t1 = b.add(TaskSpec::operator("t1"));
+        let k = b.add(TaskSpec::sink("sink"));
+        b.edge(s, t1).edge(t1, t1).edge(t1, k);
+        assert_eq!(b.finish().unwrap_err(), ValidateDataflowError::SelfLoop(t1));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = DataflowBuilder::new("names");
+        let s = b.add(TaskSpec::source("x", 8.0));
+        let t1 = b.add(TaskSpec::operator("x"));
+        let k = b.add(TaskSpec::sink("sink"));
+        b.edge(s, t1).edge(t1, k);
+        assert!(matches!(b.finish().unwrap_err(), ValidateDataflowError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn with_spec_swaps_logic_but_not_structure() {
+        use flowmig_sim::SimDuration;
+        let dag = linear3();
+        let t1 = dag.task_by_name("t1").unwrap();
+        let updated = dag.with_spec(
+            t1,
+            TaskSpec::operator("t1-v2").with_latency(SimDuration::from_millis(50)),
+        );
+        assert_eq!(updated.spec(t1).latency(), SimDuration::from_millis(50));
+        assert_eq!(updated.spec(t1).name(), "t1-v2");
+        assert_eq!(updated.edges().count(), dag.edges().count());
+        // Original is untouched.
+        assert_eq!(dag.spec(t1).latency(), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot change a task's kind")]
+    fn with_spec_rejects_kind_change() {
+        let dag = linear3();
+        let t1 = dag.task_by_name("t1").unwrap();
+        let _ = dag.with_spec(t1, TaskSpec::sink("nope"));
+    }
+
+    #[test]
+    fn lookup_and_adjacency() {
+        let dag = linear3();
+        let t1 = dag.task_by_name("t1").unwrap();
+        let t2 = dag.task_by_name("t2").unwrap();
+        assert_eq!(dag.downstream(t1), &[t2]);
+        assert_eq!(dag.upstream(t2), &[t1]);
+        assert!(dag.task_by_name("nope").is_none());
+        assert_eq!(dag.input_rate_hz(), 8.0);
+        assert_eq!(dag.user_tasks().count(), 2);
+    }
+}

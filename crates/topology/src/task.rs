@@ -1,0 +1,224 @@
+//! Task identities and specifications.
+
+use flowmig_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a logical task (vertex) within a [`Dataflow`].
+///
+/// Ids are dense indices assigned by the [`DataflowBuilder`] in insertion
+/// order, so they can index parallel `Vec`s.
+///
+/// [`Dataflow`]: crate::Dataflow
+/// [`DataflowBuilder`]: crate::DataflowBuilder
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// Returns the dense index of this task.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TaskId` from a dense index.
+    pub const fn from_index(index: usize) -> Self {
+        TaskId(index as u32)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The role a task plays in the dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Generates the input stream (Storm spout). Sources emit at a fixed
+    /// rate and are pinned (never migrated) in the paper's experiments.
+    Source,
+    /// A user-logic task (Storm bolt).
+    Operator,
+    /// Terminal task that consumes the output stream. Also pinned.
+    Sink,
+}
+
+impl TaskKind {
+    /// Whether tasks of this kind are migrated during a rebalance
+    /// (only operators are; source and sink stay on their logging VM, §5).
+    pub const fn is_migratable(self) -> bool {
+        matches!(self, TaskKind::Operator)
+    }
+}
+
+/// Static description of one logical task.
+///
+/// The evaluation in the paper uses dummy operators with a fixed 100 ms
+/// service time and 1:1 selectivity; both are configurable here so tests and
+/// ablations can explore other regimes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    name: String,
+    kind: TaskKind,
+    latency: SimDuration,
+    selectivity: f64,
+    stateful: bool,
+    emit_rate_hz: f64,
+}
+
+impl TaskSpec {
+    /// Creates a source emitting `rate_hz` events per second.
+    pub fn source(name: impl Into<String>, rate_hz: f64) -> Self {
+        TaskSpec {
+            name: name.into(),
+            kind: TaskKind::Source,
+            latency: SimDuration::ZERO,
+            selectivity: 1.0,
+            stateful: false,
+            emit_rate_hz: rate_hz,
+        }
+    }
+
+    /// Creates an operator with the paper's defaults (100 ms service time,
+    /// 1:1 selectivity, stateful).
+    pub fn operator(name: impl Into<String>) -> Self {
+        TaskSpec {
+            name: name.into(),
+            kind: TaskKind::Operator,
+            latency: SimDuration::from_millis(100),
+            selectivity: 1.0,
+            stateful: true,
+            emit_rate_hz: 0.0,
+        }
+    }
+
+    /// Creates a sink (zero service time; it only records arrivals).
+    pub fn sink(name: impl Into<String>) -> Self {
+        TaskSpec {
+            name: name.into(),
+            kind: TaskKind::Sink,
+            latency: SimDuration::ZERO,
+            selectivity: 1.0,
+            stateful: false,
+            emit_rate_hz: 0.0,
+        }
+    }
+
+    /// Sets the per-event service time.
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the selectivity (output events per input event, per out-edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selectivity` is negative or not finite.
+    pub fn with_selectivity(mut self, selectivity: f64) -> Self {
+        assert!(selectivity.is_finite() && selectivity >= 0.0, "selectivity must be finite and >= 0");
+        self.selectivity = selectivity;
+        self
+    }
+
+    /// Marks the task stateless (its state is not checkpointed).
+    pub fn stateless(mut self) -> Self {
+        self.stateful = false;
+        self
+    }
+
+    /// Task name (unique within a dataflow).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task's role.
+    pub fn kind(&self) -> TaskKind {
+        self.kind
+    }
+
+    /// Per-event service time.
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Output events per input event, per out-edge.
+    pub fn selectivity(&self) -> f64 {
+        self.selectivity
+    }
+
+    /// Whether the task keeps user state that must be checkpointed.
+    pub fn is_stateful(&self) -> bool {
+        self.stateful
+    }
+
+    /// Source emit rate in events per second (zero for non-sources).
+    pub fn emit_rate_hz(&self) -> f64 {
+        self.emit_rate_hz
+    }
+
+    /// Maximum sustainable input rate for one instance of this task
+    /// (`1 / latency`), or `f64::INFINITY` for zero-latency tasks.
+    pub fn capacity_hz(&self) -> f64 {
+        let s = self.latency.as_secs_f64();
+        if s == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_defaults_match_paper() {
+        let t = TaskSpec::operator("xform");
+        assert_eq!(t.latency(), SimDuration::from_millis(100));
+        assert_eq!(t.selectivity(), 1.0);
+        assert!(t.is_stateful());
+        assert_eq!(t.capacity_hz(), 10.0);
+        assert_eq!(t.kind(), TaskKind::Operator);
+        assert!(t.kind().is_migratable());
+    }
+
+    #[test]
+    fn source_carries_rate_and_is_pinned() {
+        let s = TaskSpec::source("src", 8.0);
+        assert_eq!(s.emit_rate_hz(), 8.0);
+        assert!(!s.kind().is_migratable());
+        assert_eq!(s.capacity_hz(), f64::INFINITY);
+    }
+
+    #[test]
+    fn sink_is_pinned() {
+        assert!(!TaskSpec::sink("sink").kind().is_migratable());
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let t = TaskSpec::operator("agg")
+            .with_latency(SimDuration::from_millis(50))
+            .with_selectivity(2.0)
+            .stateless();
+        assert_eq!(t.capacity_hz(), 20.0);
+        assert_eq!(t.selectivity(), 2.0);
+        assert!(!t.is_stateful());
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn rejects_negative_selectivity() {
+        let _ = TaskSpec::operator("bad").with_selectivity(-1.0);
+    }
+
+    #[test]
+    fn task_id_round_trips_index() {
+        let id = TaskId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "t7");
+    }
+}

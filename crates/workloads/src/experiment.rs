@@ -1,0 +1,314 @@
+//! The paper's §5 experiment protocol, multi-seed.
+//!
+//! Each experiment deploys one dataflow per Table 1, runs it for 12 minutes
+//! of virtual time, issues the migration request at 3 minutes, and computes
+//! the §4 metrics. Where the paper runs each configuration once on Azure,
+//! we run several seeds and report summary statistics.
+
+use flowmig_cluster::{ScaleDirection, ScheduleError};
+use flowmig_core::{MigrationController, MigrationOutcome, MigrationStrategy};
+use flowmig_metrics::Summary;
+use flowmig_sim::SimDuration;
+use flowmig_topology::Dataflow;
+use std::fmt;
+
+/// A configured experiment: dataflow × scaling direction × seeds.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_cluster::ScaleDirection;
+/// use flowmig_core::Ccr;
+/// use flowmig_topology::library;
+/// use flowmig_workloads::Experiment;
+///
+/// let report = Experiment::paper(library::star(), ScaleDirection::In)
+///     .with_seeds(&[1, 2])
+///     .run(&Ccr::new())?;
+/// assert_eq!(report.strategy, "CCR");
+/// assert!(report.completed_all);
+/// assert_eq!(report.dropped.mean(), 0.0); // CCR loses nothing
+/// # Ok::<(), flowmig_cluster::ScheduleError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    dag: Dataflow,
+    direction: ScaleDirection,
+    controller: MigrationController,
+    seeds: Vec<u64>,
+}
+
+impl Experiment {
+    /// Default seeds used by the benchmark harness.
+    pub const DEFAULT_SEEDS: [u64; 5] = [11, 23, 37, 53, 71];
+
+    /// The paper's protocol: 12-minute run, migration at 3 minutes,
+    /// [`Self::DEFAULT_SEEDS`].
+    pub fn paper(dag: Dataflow, direction: ScaleDirection) -> Self {
+        Experiment {
+            dag,
+            direction,
+            controller: MigrationController::new(),
+            seeds: Self::DEFAULT_SEEDS.to_vec(),
+        }
+    }
+
+    /// Overrides the seed list (one run per seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    pub fn with_seeds(mut self, seeds: &[u64]) -> Self {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Overrides the run protocol (request time, horizon, engine config).
+    pub fn with_controller(mut self, controller: MigrationController) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// The dataflow under test.
+    pub fn dag(&self) -> &Dataflow {
+        &self.dag
+    }
+
+    /// The scaling direction under test.
+    pub fn direction(&self) -> ScaleDirection {
+        self.direction
+    }
+
+    /// Runs the experiment for every seed under `strategy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if the Table 1 scenario cannot be placed.
+    pub fn run(&self, strategy: &dyn MigrationStrategy) -> Result<ExperimentReport, ScheduleError> {
+        let mut outcomes = Vec::with_capacity(self.seeds.len());
+        for (i, &seed) in self.seeds.iter().enumerate() {
+            // Derive a distinct stream per configuration so e.g. scale-in
+            // and scale-out of the same DAG don't share every random draw.
+            let derived = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(self.direction as u64 * 97 + i as u64 * 131 + self.dag.len() as u64);
+            let controller = self.controller.clone().with_seed(derived);
+            outcomes.push(controller.run(&self.dag, strategy, self.direction)?);
+        }
+        Ok(ExperimentReport::aggregate(
+            self.dag.name().to_owned(),
+            self.direction,
+            strategy.name(),
+            outcomes,
+        ))
+    }
+}
+
+/// Aggregated results of one experiment across seeds.
+///
+/// Time summaries are in **seconds**; a summary with `count() == 0` means
+/// the metric never applied (e.g. recovery for DCR/CCR).
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// Dataflow name.
+    pub dag: String,
+    /// Scaling direction.
+    pub direction: ScaleDirection,
+    /// Strategy display name.
+    pub strategy: &'static str,
+    /// §4 metric 1: restore duration (s).
+    pub restore: Summary,
+    /// §4 metric 2: drain/capture duration (s).
+    pub drain_capture: Summary,
+    /// §4 metric 3: rebalance duration (s).
+    pub rebalance: Summary,
+    /// §4 metric 4: catchup time (s).
+    pub catchup: Summary,
+    /// §4 metric 5: recovery time (s).
+    pub recovery: Summary,
+    /// §4 metric 6: rate stabilization time (s).
+    pub stabilization: Summary,
+    /// §4 metric 7: replayed roots per run.
+    pub replayed_roots: Summary,
+    /// Replayed per-task messages per run (Fig. 6's message count).
+    pub replayed_messages: Summary,
+    /// Dropped events per run.
+    pub dropped: Summary,
+    /// Captured in-flight events per run (CCR).
+    pub captured: Summary,
+    /// Whether every seed's migration completed before the horizon.
+    pub completed_all: bool,
+    /// The raw per-seed outcomes (timelines, traces).
+    pub outcomes: Vec<MigrationOutcome>,
+}
+
+fn push_opt(summary: &mut Summary, value: Option<SimDuration>) {
+    if let Some(d) = value {
+        summary.add(d.as_secs_f64());
+    }
+}
+
+impl ExperimentReport {
+    fn aggregate(
+        dag: String,
+        direction: ScaleDirection,
+        strategy: &'static str,
+        outcomes: Vec<MigrationOutcome>,
+    ) -> Self {
+        let mut report = ExperimentReport {
+            dag,
+            direction,
+            strategy,
+            restore: Summary::new(),
+            drain_capture: Summary::new(),
+            rebalance: Summary::new(),
+            catchup: Summary::new(),
+            recovery: Summary::new(),
+            stabilization: Summary::new(),
+            replayed_roots: Summary::new(),
+            replayed_messages: Summary::new(),
+            dropped: Summary::new(),
+            captured: Summary::new(),
+            completed_all: outcomes.iter().all(|o| o.completed),
+            outcomes,
+        };
+        for o in &report.outcomes {
+            push_opt(&mut report.restore, o.metrics.restore);
+            push_opt(&mut report.drain_capture, o.metrics.drain_capture);
+            push_opt(&mut report.rebalance, o.metrics.rebalance);
+            push_opt(&mut report.catchup, o.metrics.catchup);
+            push_opt(&mut report.recovery, o.metrics.recovery);
+            push_opt(&mut report.stabilization, o.metrics.stabilization);
+            report.replayed_roots.add(o.stats.replayed_roots as f64);
+            report.replayed_messages.add(o.stats.replayed_event_messages as f64);
+            report.dropped.add(o.stats.events_dropped as f64);
+            report.captured.add(o.stats.events_captured as f64);
+        }
+        report
+    }
+
+    /// Mean of a time summary, or `None` if the metric never applied.
+    fn mean_of(s: &Summary) -> Option<f64> {
+        (s.count() > 0).then(|| s.mean())
+    }
+
+    /// Mean restore time in seconds, if applicable.
+    pub fn restore_mean(&self) -> Option<f64> {
+        Self::mean_of(&self.restore)
+    }
+
+    /// Mean catchup time in seconds, if applicable.
+    pub fn catchup_mean(&self) -> Option<f64> {
+        Self::mean_of(&self.catchup)
+    }
+
+    /// Mean recovery time in seconds, if applicable.
+    pub fn recovery_mean(&self) -> Option<f64> {
+        Self::mean_of(&self.recovery)
+    }
+
+    /// Mean stabilization time in seconds, if applicable.
+    pub fn stabilization_mean(&self) -> Option<f64> {
+        Self::mean_of(&self.stabilization)
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn cell(v: Option<f64>) -> String {
+            v.map_or_else(|| "-".to_owned(), |x| format!("{x:.1}"))
+        }
+        write!(
+            f,
+            "{:8} {:9} {:4} restore={:>6} catchup={:>6} recovery={:>6} stabilization={:>6} replayed={:.0}",
+            self.dag,
+            self.direction.to_string(),
+            self.strategy,
+            cell(self.restore_mean()),
+            cell(self.catchup_mean()),
+            cell(self.recovery_mean()),
+            cell(self.stabilization_mean()),
+            self.replayed_messages.mean(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmig_core::{Ccr, Dcr};
+    use flowmig_sim::SimTime;
+    use flowmig_topology::library;
+
+    fn quick_controller() -> MigrationController {
+        MigrationController::new()
+            .with_request_at(SimTime::from_secs(60))
+            .with_horizon(SimTime::from_secs(360))
+    }
+
+    #[test]
+    fn multi_seed_aggregation() {
+        let report = Experiment::paper(library::linear(), ScaleDirection::In)
+            .with_seeds(&[1, 2, 3])
+            .with_controller(quick_controller())
+            .run(&Dcr::new())
+            .unwrap();
+        assert_eq!(report.restore.count(), 3);
+        assert_eq!(report.rebalance.count(), 3);
+        assert_eq!(report.catchup.count(), 0, "DCR has no catchup");
+        assert_eq!(report.recovery.count(), 0, "DCR has no recovery");
+        assert!(report.completed_all);
+        assert_eq!(report.outcomes.len(), 3);
+        // Rebalance ≈ 7.26 s for every seed.
+        assert!((6.5..8.0).contains(&report.rebalance.mean()));
+    }
+
+    #[test]
+    fn seeds_vary_outcomes() {
+        let report = Experiment::paper(library::linear(), ScaleDirection::In)
+            .with_seeds(&[1, 2, 3, 4])
+            .with_controller(quick_controller())
+            .run(&Ccr::new())
+            .unwrap();
+        // Worker-ready delays differ per seed, so restore times differ.
+        assert!(report.restore.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn direction_changes_derived_seed() {
+        let base = Experiment::paper(library::star(), ScaleDirection::In)
+            .with_seeds(&[9])
+            .with_controller(quick_controller());
+        let r_in = base.clone().run(&Ccr::new()).unwrap();
+        let r_out = Experiment::paper(library::star(), ScaleDirection::Out)
+            .with_seeds(&[9])
+            .with_controller(quick_controller())
+            .run(&Ccr::new())
+            .unwrap();
+        // Same seed list, different derived streams.
+        assert_ne!(
+            r_in.restore_mean().unwrap(),
+            r_out.restore_mean().unwrap(),
+            "scale-in and scale-out should not share every random draw"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_rejected() {
+        let _ = Experiment::paper(library::linear(), ScaleDirection::In).with_seeds(&[]);
+    }
+
+    #[test]
+    fn display_renders_row() {
+        let report = Experiment::paper(library::linear(), ScaleDirection::In)
+            .with_seeds(&[1])
+            .with_controller(quick_controller())
+            .run(&Dcr::new())
+            .unwrap();
+        let s = report.to_string();
+        assert!(s.contains("DCR"));
+        assert!(s.contains("recovery=     -"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Plain-text table rendering for the benchmark harness output.
+
+use std::fmt;
+
+/// A right-aligned ASCII table (first column left-aligned).
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_workloads::TextTable;
+///
+/// let mut t = TextTable::new(&["dag", "restore (s)"]);
+/// t.row(&["linear", "38.0"]);
+/// let s = t.to_string();
+/// assert!(s.contains("linear"));
+/// assert!(s.contains("restore (s)"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        TextTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns true if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "{:<width$}", cell, width = widths[0])?;
+                } else {
+                    write!(f, "  {:>width$}", cell, width = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an optional seconds value as `"12.3"` or `"-"`.
+pub fn secs_cell(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_owned(), |x| format!("{x:.1}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["dag", "a", "bbbb"]);
+        t.row(&["linear", "1.0", "2"]).row(&["grid", "100.0", "33"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("dag"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All rows same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        TextTable::new(&["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn secs_cell_formats() {
+        assert_eq!(secs_cell(Some(7.26)), "7.3");
+        assert_eq!(secs_cell(None), "-");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = TextTable::new(&["x"]);
+        assert!(t.is_empty());
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Hot-swapping task logic during a DCR migration (the paper's §7
+//! extension: "updating the task logic by re-wiring the DAG on the fly").
+//!
+//! A fraud-scoring operator in a payments pipeline is upgraded from a
+//! 100 ms model to a 25 ms model *while the pipeline keeps running*: DCR
+//! drains the dataflow, the rebalance redeploys the task with the new
+//! logic, and the drain guarantees no event is scored partly by the old
+//! and partly by the new model.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example logic_hotswap
+//! ```
+
+use flowmig::prelude::*;
+
+fn main() -> Result<(), flowmig::cluster::ScheduleError> {
+    // A payments pipeline: ingest → enrich → score → aggregate → sink.
+    let mut b = DataflowBuilder::new("payments");
+    let src = b.add(TaskSpec::source("ingest", 8.0));
+    let enrich = b.add(TaskSpec::operator("enrich"));
+    let score = b.add(TaskSpec::operator("score-v1"));
+    let agg = b.add(TaskSpec::operator("aggregate"));
+    let sink = b.add(TaskSpec::sink("ledger"));
+    b.chain(&[src, enrich, score, agg, sink]);
+    let dag = b.finish().expect("payments pipeline is valid");
+
+    let instances = InstanceSet::plan(&dag);
+    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In)?;
+
+    let strategy = Dcr::new();
+    let mut engine = Engine::new(
+        dag.clone(),
+        instances,
+        &plan,
+        EngineConfig::default(),
+        strategy.protocol(),
+        strategy.coordinator(),
+        2026,
+    );
+    engine.stage_logic_update(
+        score,
+        TaskSpec::operator("score-v2").with_latency(SimDuration::from_millis(25)),
+    );
+    engine.schedule_migration(SimTime::from_secs(120));
+    engine.run_until(SimTime::from_secs(480));
+
+    let trace = engine.trace();
+    let request = trace.migration_requested_at().expect("migration ran");
+    let timeline = LatencyTimeline::from_trace(trace, SimDuration::from_secs(10));
+    let before = timeline.median_latency_ms(SimTime::ZERO, request).expect("pre");
+    let after = timeline
+        .median_latency_ms(SimTime::from_secs(400), SimTime::from_secs(480))
+        .expect("post");
+
+    println!("hot-swapped `score-v1` (100 ms) -> `score-v2` (25 ms) via DCR migration\n");
+    println!("  events dropped:          {}", engine.stats().events_dropped);
+    println!("  roots replayed:          {}", engine.stats().replayed_roots);
+    println!("  median latency before:   {before:.0} ms");
+    println!("  median latency after:    {after:.0} ms");
+    println!(
+        "  restore duration:        {:.1} s\n",
+        trace
+            .phase_span(MigrationPhase::Restore)
+            .map(|(s, e)| (e - s).as_secs_f64())
+            .unwrap_or(f64::NAN)
+    );
+    println!("zero loss, zero replay, and a clean old-logic/new-logic boundary —");
+    println!("the reason the paper recommends DCR when the dataflow logic changes (§5.1).");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Strategy tuning: what the knobs of DSM and DCR actually buy.
+//!
+//! Two mini-studies from the paper's discussion sections:
+//!
+//! 1. **DSM pause-timeout** (§2): users must guess how long to pause the
+//!    sources before the kill. Under-estimate → messages lost and replayed;
+//!    over-estimate → the dataflow idles. We sweep 0–30 s.
+//! 2. **INIT resend cadence** (§5.1): DCR re-sends INIT every second while
+//!    DSM waits for the 30 s ack-timeout. We run DCR with both cadences.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example strategy_tuning
+//! ```
+
+use flowmig::prelude::*;
+
+fn main() -> Result<(), flowmig::cluster::ScheduleError> {
+    let dag = library::linear();
+    let controller = MigrationController::new()
+        .with_request_at(SimTime::from_secs(60))
+        .with_horizon(SimTime::from_secs(420))
+        .with_seed(5);
+
+    println!("1) DSM pause-timeout sweep (linear, scale-in)\n");
+    let mut table =
+        TextTable::new(&["pause timeout (s)", "lost events", "replayed roots", "restore (s)"]);
+    for secs in [0u64, 2, 5, 10, 20, 30] {
+        let dsm = Dsm::with_pause_timeout(SimDuration::from_secs(secs));
+        let outcome = controller.run(&dag, &dsm, ScaleDirection::In)?;
+        table.row_owned(vec![
+            secs.to_string(),
+            outcome.stats.events_dropped.to_string(),
+            outcome.stats.replayed_roots.to_string(),
+            outcome
+                .metrics
+                .restore
+                .map_or_else(|| "-".into(), |d| format!("{:.1}", d.as_secs_f64())),
+        ]);
+    }
+    println!("{table}");
+    println!("The guessed timeout barely moves the losses — they are dominated by the");
+    println!("worker-restart window, not the in-flight drain — while over-estimating");
+    println!("idles the dataflow. DCR/CCR replace the guess with an exact protocol.\n");
+
+    println!("2) DCR INIT resend cadence (linear, scale-in)\n");
+    let mut table = TextTable::new(&["cadence", "restore (s)", "stabilization (s)"]);
+    for (label, interval) in [("1 s (paper)", 1u64), ("30 s (ack-timeout)", 30)] {
+        let dcr = Dcr::new().with_init_resend(SimDuration::from_secs(interval));
+        let outcome = controller.run(&dag, &dcr, ScaleDirection::In)?;
+        table.row_owned(vec![
+            label.to_owned(),
+            outcome
+                .metrics
+                .restore
+                .map_or_else(|| "-".into(), |d| format!("{:.1}", d.as_secs_f64())),
+            outcome
+                .metrics
+                .stabilization
+                .map_or_else(|| "-".into(), |d| format!("{:.1}", d.as_secs_f64())),
+        ]);
+    }
+    println!("{table}");
+    println!("Aggressive 1 s INIT duplicates are cheap (restored tasks skip them) and");
+    println!("remove whole 30 s waves from the restore path — §5.1's explanation for");
+    println!("why DCR beats DSM even though both send INIT sequentially.");
+    Ok(())
+}

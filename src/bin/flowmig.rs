@@ -1,0 +1,160 @@
+//! `flowmig` — command-line runner for single migration experiments.
+//!
+//! ```text
+//! USAGE:
+//!   flowmig [--dag NAME] [--strategy DSM|DCR|CCR] [--direction in|out]
+//!           [--seed N] [--request-secs N] [--horizon-secs N]
+//!           [--csv throughput|latency]
+//! ```
+//!
+//! Prints the §4 metrics for one run of the paper's protocol, or a CSV
+//! series for external plotting.
+
+use flowmig::prelude::*;
+use flowmig::workloads::{latency_csv, throughput_csv};
+use std::process::ExitCode;
+
+struct Args {
+    dag: String,
+    strategy: String,
+    direction: ScaleDirection,
+    seed: u64,
+    request_secs: u64,
+    horizon_secs: u64,
+    csv: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: flowmig [--dag linear|diamond|star|grid|traffic|linearN] \
+         [--strategy DSM|DCR|CCR] [--direction in|out] [--seed N] \
+         [--request-secs N] [--horizon-secs N] [--csv throughput|latency]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dag: "grid".to_owned(),
+        strategy: "CCR".to_owned(),
+        direction: ScaleDirection::In,
+        seed: 42,
+        request_secs: 180,
+        horizon_secs: 720,
+        csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--dag" => args.dag = value()?,
+            "--strategy" => args.strategy = value()?.to_uppercase(),
+            "--direction" => {
+                args.direction = match value()?.as_str() {
+                    "in" => ScaleDirection::In,
+                    "out" => ScaleDirection::Out,
+                    other => return Err(format!("unknown direction `{other}`")),
+                }
+            }
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--request-secs" => {
+                args.request_secs = value()?.parse().map_err(|e| format!("bad time: {e}"))?
+            }
+            "--horizon-secs" => {
+                args.horizon_secs = value()?.parse().map_err(|e| format!("bad time: {e}"))?
+            }
+            "--csv" => args.csv = Some(value()?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn dag_by_name(name: &str) -> Option<Dataflow> {
+    match name {
+        "linear" => Some(library::linear()),
+        "diamond" => Some(library::diamond()),
+        "star" => Some(library::star()),
+        "grid" => Some(library::grid()),
+        "traffic" => Some(library::traffic()),
+        _ => name
+            .strip_prefix("linear")
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|&n| n > 0 && n <= 500)
+            .map(library::linear_n),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            return usage();
+        }
+    };
+    let Some(dag) = dag_by_name(&args.dag) else {
+        eprintln!("error: unknown dataflow `{}`", args.dag);
+        return usage();
+    };
+    let controller = MigrationController::new()
+        .with_request_at(SimTime::from_secs(args.request_secs))
+        .with_horizon(SimTime::from_secs(args.horizon_secs))
+        .with_seed(args.seed);
+    let result = match args.strategy.as_str() {
+        "DSM" => controller.run(&dag, &Dsm::new(), args.direction),
+        "DCR" => controller.run(&dag, &Dcr::new(), args.direction),
+        "CCR" => controller.run(&dag, &Ccr::new(), args.direction),
+        other => {
+            eprintln!("error: unknown strategy `{other}`");
+            return usage();
+        }
+    };
+    let outcome = match result {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(kind) = args.csv {
+        let origin = outcome
+            .trace
+            .migration_requested_at()
+            .unwrap_or(SimTime::ZERO);
+        match kind.as_str() {
+            "throughput" => {
+                print!("{}", throughput_csv(&outcome.trace, SimDuration::from_secs(10), origin))
+            }
+            "latency" => {
+                print!("{}", latency_csv(&outcome.trace, SimDuration::from_secs(10), origin))
+            }
+            other => {
+                eprintln!("error: unknown csv series `{other}`");
+                return usage();
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "{} {} {} (seed {}, migrate @{}s, horizon {}s)",
+        dag.name(),
+        args.direction,
+        outcome.strategy,
+        args.seed,
+        args.request_secs,
+        args.horizon_secs
+    );
+    println!("  completed:     {}", outcome.completed);
+    println!("  metrics:       {}", outcome.metrics);
+    println!(
+        "  reliability:   {} dropped, {} roots replayed, {} captured",
+        outcome.stats.events_dropped, outcome.stats.replayed_roots, outcome.stats.events_captured
+    );
+    ExitCode::SUCCESS
+}

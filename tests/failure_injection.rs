@@ -1,0 +1,154 @@
+//! Failure injection: checkpoint waves that cannot complete must roll the
+//! dataflow back (the three-phase-commit semantics of §2) and leave it
+//! processing, not wedged.
+
+use flowmig::prelude::*;
+
+/// An instance crashes right as DCR's PREPARE wave sweeps: the wave cannot
+/// align, the coordinator times out and broadcasts ROLLBACK, the sources
+/// resume, and the dataflow keeps producing on the *old* deployment.
+#[test]
+fn dcr_prepare_timeout_rolls_back_and_resumes() {
+    let dag = library::linear();
+    let instances = InstanceSet::plan(&dag);
+    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In)
+        .expect("scenario placeable");
+    let victim = instances.of_task(dag.task_by_name("t3").expect("t3 exists"))[0];
+
+    let strategy = Dcr::new().with_wave_timeout(SimDuration::from_secs(10));
+    let mut engine = Engine::new(
+        dag.clone(),
+        instances.clone(),
+        &plan,
+        EngineConfig::default(),
+        strategy.protocol(),
+        strategy.coordinator(),
+        5,
+    );
+    // Crash t3 a hair after the migration request; keep it down long
+    // enough to exceed the 10 s wave timeout.
+    engine.schedule_migration(SimTime::from_secs(60));
+    engine.schedule_outage(
+        victim,
+        SimTime::from_millis(60_050),
+        SimDuration::from_secs(20),
+    );
+    engine.run_until(SimTime::from_secs(300));
+
+    let trace = engine.trace();
+    // The migration never completed…
+    assert!(trace.migration_completed_at().is_none(), "migration must abort");
+    // …no rebalance ever ran…
+    assert!(trace.phase_span(MigrationPhase::Rebalance).is_none(), "no rebalance after abort");
+    // …a ROLLBACK wave went out…
+    let rollbacks = trace
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::ControlWave { kind: flowmig::metrics::ControlKind::Rollback, .. }
+            )
+        })
+        .count();
+    assert!(rollbacks >= 1, "rollback wave was broadcast");
+    // …and the dataflow kept producing afterwards.
+    let last_arrival = trace
+        .iter()
+        .rev()
+        .find_map(|e| match *e {
+            TraceEvent::SinkArrival { at, .. } => Some(at),
+            _ => None,
+        })
+        .expect("sink arrivals exist");
+    assert!(
+        last_arrival > SimTime::from_secs(280),
+        "dataflow still produces after the aborted migration (last arrival {last_arrival})"
+    );
+}
+
+/// A crash just before the migration leaves an uninitialized executor:
+/// CCR's PREPARE cannot complete, so the built-in 30 s wave timeout rolls
+/// the migration back — and the ROLLBACK itself re-initializes the victim
+/// from the last committed state, leaving the dataflow healthy.
+#[test]
+fn ccr_default_timeout_rolls_back_when_an_executor_cannot_prepare() {
+    let dag = library::linear();
+    let instances = InstanceSet::plan(&dag);
+    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In)
+        .expect("scenario placeable");
+    let victim = instances.of_task(dag.task_by_name("t2").expect("t2 exists"))[0];
+
+    let strategy = Ccr::new(); // default: 30 s wave timeout
+    let mut engine = Engine::new(
+        dag.clone(),
+        instances.clone(),
+        &plan,
+        EngineConfig::default(),
+        strategy.protocol(),
+        strategy.coordinator(),
+        6,
+    );
+    engine.schedule_migration(SimTime::from_secs(60));
+    // Crash before the migration: the victim is back but uninitialized
+    // when the PREPARE broadcast arrives, so it cannot snapshot state.
+    engine.schedule_outage(victim, SimTime::from_secs(40), SimDuration::from_secs(5));
+    engine.run_until(SimTime::from_secs(420));
+
+    assert!(engine.trace().migration_completed_at().is_none(), "migration aborts");
+    assert!(
+        engine.trace().phase_span(MigrationPhase::Rebalance).is_none(),
+        "no rebalance after the abort"
+    );
+    assert_eq!(engine.worker_status(victim), WorkerStatus::Running);
+    assert!(engine.is_initialized(victim), "ROLLBACK re-initialized the victim");
+    // The dataflow is producing again after the abort.
+    let last = engine
+        .trace()
+        .iter()
+        .rev()
+        .find_map(|e| match *e {
+            TraceEvent::SinkArrival { at, .. } => Some(at),
+            _ => None,
+        })
+        .expect("arrivals");
+    assert!(last > SimTime::from_secs(400), "dataflow produces after the abort, last={last}");
+}
+
+/// A crash outside any migration: the outage drops events (no acking for
+/// DCR protocol) but the engine keeps running and the instance recovers.
+#[test]
+fn steady_state_crash_recovers_without_migration() {
+    let dag = library::diamond();
+    let instances = InstanceSet::plan(&dag);
+    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In)
+        .expect("scenario placeable");
+    let victim = instances.of_task(dag.task_by_name("e").expect("e exists"))[1];
+
+    let mut engine = Engine::new(
+        dag.clone(),
+        instances.clone(),
+        &plan,
+        EngineConfig::default(),
+        ProtocolConfig::dsm(),
+        Dsm::new().coordinator(),
+        7,
+    );
+    engine.schedule_outage(victim, SimTime::from_secs(50), SimDuration::from_secs(10));
+    engine.run_until(SimTime::from_secs(180));
+
+    assert!(engine.stats().events_dropped > 0, "outage lost events");
+    // With DSM's acking, the lost trees were replayed and completed.
+    assert!(engine.stats().replayed_roots > 0, "acker replayed the losses");
+    assert_eq!(engine.worker_status(victim), WorkerStatus::Running);
+    // Output is flowing again at the end.
+    let last = engine
+        .trace()
+        .iter()
+        .rev()
+        .find_map(|e| match *e {
+            TraceEvent::SinkArrival { at, .. } => Some(at),
+            _ => None,
+        })
+        .expect("arrivals");
+    assert!(last > SimTime::from_secs(175));
+}

@@ -1,0 +1,209 @@
+//! End-to-end reliability guarantees across strategies, dataflows and
+//! scaling directions — the paper's central claim: migration "without any
+//! loss of in-flight messages or their internal task states".
+
+use flowmig::prelude::*;
+use std::collections::HashMap;
+
+/// Expected sink arrivals per root for each paper dataflow (its end-to-end
+/// fan-out: sink rate / source rate).
+fn arrivals_per_root(dag: &Dataflow) -> u64 {
+    let rates = RatePlan::for_dataflow(dag);
+    (rates.expected_sink_rate_hz(dag) / dag.input_rate_hz()).round() as u64
+}
+
+fn quick_controller(seed: u64) -> MigrationController {
+    MigrationController::new()
+        .with_request_at(SimTime::from_secs(60))
+        .with_horizon(SimTime::from_secs(420))
+        .with_seed(seed)
+}
+
+/// Per-root delivery accounting from a trace: how many sink arrivals each
+/// emitted root produced.
+fn deliveries(outcome: &MigrationOutcome) -> (u64, HashMap<u64, u64>) {
+    let mut per_root: HashMap<u64, u64> = HashMap::new();
+    let mut emitted = 0;
+    for event in outcome.trace.iter() {
+        match *event {
+            TraceEvent::SourceEmit { root, replay: false, at: _ } => {
+                emitted += 1;
+                per_root.entry(root.0).or_insert(0);
+            }
+            TraceEvent::SinkArrival { root, .. } => {
+                *per_root.entry(root.0).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    (emitted, per_root)
+}
+
+/// DCR and CCR provide exactly-once delivery: every emitted root reaches
+/// the sink the expected number of times — no loss, no duplicates.
+#[test]
+fn dcr_and_ccr_are_exactly_once_on_all_dataflows() {
+    for dag in library::paper_dataflows() {
+        let expected = arrivals_per_root(&dag);
+        for direction in [ScaleDirection::In, ScaleDirection::Out] {
+            for strategy in [&Dcr::new() as &dyn MigrationStrategy, &Ccr::new()] {
+                let outcome = quick_controller(7)
+                    .run(&dag, strategy, direction)
+                    .expect("scenario placeable");
+                assert!(outcome.completed, "{} {} {}", dag.name(), direction, outcome.strategy);
+                assert_eq!(
+                    outcome.stats.events_dropped, 0,
+                    "{} {} {}: no loss",
+                    dag.name(),
+                    direction,
+                    outcome.strategy
+                );
+                assert_eq!(outcome.stats.replayed_roots, 0, "no replays");
+
+                let (emitted, per_root) = deliveries(&outcome);
+                assert!(emitted > 2_000, "enough traffic to be meaningful");
+                // Roots still in flight at the horizon are allowed to be
+                // incomplete; every root with at least one arrival must
+                // have exactly the expected count except the last few.
+                let complete =
+                    per_root.values().filter(|&&c| c == expected).count() as u64;
+                let over = per_root.values().filter(|&&c| c > expected).count();
+                let partial: Vec<u64> = per_root
+                    .values()
+                    .copied()
+                    .filter(|&c| c != 0 && c < expected)
+                    .collect();
+                assert_eq!(over, 0, "{} {}: duplicates", dag.name(), outcome.strategy);
+                // The in-flight tail at the horizon scales with pipeline
+                // depth: deeper DAGs hold more partially delivered roots.
+                let tail_allow = dag.critical_path_len() + 6;
+                assert!(
+                    partial.len() <= tail_allow,
+                    "{} {}: only in-flight tail roots may be partial, got {}",
+                    dag.name(),
+                    outcome.strategy,
+                    partial.len()
+                );
+                assert!(
+                    complete >= emitted - tail_allow as u64 - 4,
+                    "nearly all roots fully delivered"
+                );
+            }
+        }
+    }
+}
+
+/// DSM provides at-least-once delivery: losses occur and are replayed, so
+/// every settled root reaches the sink — possibly more than once.
+#[test]
+fn dsm_is_at_least_once_with_duplicates() {
+    let dag = library::star();
+    let outcome = quick_controller(11)
+        .run(&dag, &Dsm::new(), ScaleDirection::In)
+        .expect("scenario placeable");
+    assert!(outcome.completed);
+    assert!(outcome.stats.events_dropped > 0, "the kill loses events");
+    assert!(outcome.stats.replayed_roots > 0, "the acker replays them");
+
+    let expected = arrivals_per_root(&dag);
+    let (_, per_root) = deliveries(&outcome);
+    let duplicated = per_root.values().filter(|&&c| c > expected).count();
+    assert!(duplicated > 0, "replays produce duplicate deliveries");
+
+    // No root emitted more than a minute before the horizon is lost.
+    let horizon = SimTime::from_secs(420);
+    let mut settled_roots: HashMap<u64, bool> = HashMap::new();
+    for event in outcome.trace.iter() {
+        match *event {
+            TraceEvent::SourceEmit { root, at, .. }
+                if at + SimDuration::from_secs(90) < horizon =>
+            {
+                settled_roots.entry(root.0).or_insert(false);
+            }
+            TraceEvent::SinkArrival { root, .. } => {
+                settled_roots.entry(root.0).and_modify(|seen| *seen = true);
+            }
+            _ => {}
+        }
+    }
+    let lost = settled_roots.values().filter(|&&seen| !seen).count();
+    assert_eq!(lost, 0, "at-least-once: every settled root reaches the sink");
+}
+
+/// Task state (processed-event counters) survives DCR/CCR migrations: the
+/// post-migration counter equals events actually routed through the task —
+/// nothing forgotten, nothing double-counted.
+#[test]
+fn state_continuity_across_ccr_migration() {
+    let dag = library::linear();
+    let outcome = quick_controller(13)
+        .run(&dag, &Ccr::new(), ScaleDirection::In)
+        .expect("scenario placeable");
+    assert!(outcome.completed);
+    // In a linear chain every task sees every root exactly once, so the
+    // sink arrival count equals each task's processed count up to the
+    // in-pipeline tail.
+    let arrivals = outcome.stats.sink_arrivals;
+    let processed = outcome.stats.events_processed as f64 / dag.user_tasks().count() as f64;
+    let diff = (processed - arrivals as f64).abs();
+    assert!(
+        diff <= 8.0,
+        "per-task processed (~{processed:.0}) must track sink arrivals ({arrivals}) modulo the tail"
+    );
+}
+
+/// The §4 metric structure per strategy: drain only for DCR/CCR, catchup
+/// never for DCR, recovery only for DSM.
+#[test]
+fn metric_applicability_matrix() {
+    let dag = library::grid();
+    let c = quick_controller(17);
+    let dsm = c.run(&dag, &Dsm::new(), ScaleDirection::In).expect("placeable");
+    let dcr = c.run(&dag, &Dcr::new(), ScaleDirection::In).expect("placeable");
+    let ccr = c.run(&dag, &Ccr::new(), ScaleDirection::In).expect("placeable");
+
+    assert!(dsm.metrics.drain_capture.is_none(), "DSM has no drain phase");
+    assert!(dsm.metrics.recovery.is_some(), "DSM has a recovery phase");
+    assert!(dcr.metrics.drain_capture.is_some());
+    assert!(dcr.metrics.catchup.is_none(), "DCR drains everything pre-kill");
+    assert!(dcr.metrics.recovery.is_none());
+    assert!(ccr.metrics.drain_capture.is_some());
+    assert!(ccr.metrics.catchup.is_some(), "CCR resumes captured old events");
+    assert!(ccr.metrics.recovery.is_none());
+
+    // CCR's capture beats DCR's drain (§3.2).
+    assert!(ccr.metrics.drain_capture.unwrap() < dcr.metrics.drain_capture.unwrap());
+
+    // All three record a ~7 s rebalance.
+    for m in [&dsm.metrics, &dcr.metrics, &ccr.metrics] {
+        let r = m.rebalance.expect("rebalance happened").as_secs_f64();
+        assert!((6.5..8.1).contains(&r), "rebalance ≈ 7.26 s, got {r}");
+    }
+}
+
+/// Migration phases appear in protocol order in the trace for DCR/CCR.
+#[test]
+fn phase_ordering_is_pause_drain_commit_rebalance_restore_resume() {
+    let outcome = quick_controller(19)
+        .run(&library::traffic(), &Ccr::new(), ScaleDirection::Out)
+        .expect("scenario placeable");
+    let spans: Vec<(MigrationPhase, SimTime)> = [
+        MigrationPhase::Drain,
+        MigrationPhase::Commit,
+        MigrationPhase::Rebalance,
+        MigrationPhase::Restore,
+    ]
+    .into_iter()
+    .map(|p| (p, outcome.trace.phase_span(p).expect("phase recorded").0))
+    .collect();
+    for pair in spans.windows(2) {
+        assert!(
+            pair[0].1 <= pair[1].1,
+            "{} must start before {}",
+            pair[0].0,
+            pair[1].0
+        );
+    }
+    // Completion is recorded once the source resumes.
+    assert!(outcome.trace.migration_completed_at().is_some());
+}

@@ -1,0 +1,275 @@
+//! Property-based tests over the core data structures and protocols.
+
+use flowmig::prelude::*;
+use flowmig::engine::{AckOutcome, Acker};
+use flowmig::metrics::RootId;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Acker XOR-ledger properties
+// ---------------------------------------------------------------------
+
+/// A random tuple tree: node ids (non-zero, distinct) with parent links.
+fn tree_strategy() -> impl Strategy<Value = Vec<(u64, Option<usize>)>> {
+    // Up to 24 nodes; node 0 is the root; each later node picks an earlier
+    // parent. Ids are made distinct and non-zero by construction below.
+    proptest::collection::vec(0usize..24, 1..24).prop_map(|parents| {
+        let mut nodes: Vec<(u64, Option<usize>)> = vec![(1, None)];
+        for (i, p) in parents.into_iter().enumerate() {
+            let id = (i as u64 + 2).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1; // distinct, odd
+            nodes.push((id, Some(p % nodes.len())));
+        }
+        nodes
+    })
+}
+
+proptest! {
+    /// Acking every edge of any tree, in any interleaving consistent with
+    /// processing order, zeroes the ledger exactly at the last ack.
+    #[test]
+    fn acker_completes_iff_every_tuple_acked(
+        tree in tree_strategy(),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let root = RootId(0xFEED);
+        // children[i] = ids of i's children.
+        let mut children: Vec<Vec<u64>> = vec![Vec::new(); tree.len()];
+        for &(id, parent) in &tree {
+            if let Some(p) = parent {
+                children[p].push(id);
+            }
+        }
+        acker.register(root, tree[0].0, SimTime::ZERO);
+
+        // Process nodes in a shuffled topological order: each node acks
+        // itself XOR its children (children get registered by the ack).
+        let mut order: Vec<usize> = (0..tree.len()).collect();
+        // Deterministic Fisher-Yates from the seed.
+        let mut state = shuffle_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        // Repair to topological: stable-sort by depth.
+        let mut depth = vec![0usize; tree.len()];
+        for (i, &(_, parent)) in tree.iter().enumerate() {
+            if let Some(p) = parent {
+                depth[i] = depth[p] + 1;
+            }
+        }
+        order.sort_by_key(|&i| depth[i]);
+
+        let mut outcome = AckOutcome::Pending;
+        for (k, &i) in order.iter().enumerate() {
+            let update = tree[i].0 ^ children[i].iter().fold(0u64, |a, &c| a ^ c);
+            outcome = acker.apply(root, update);
+            if k + 1 < order.len() {
+                prop_assert_eq!(outcome, AckOutcome::Pending, "complete only at the end");
+            }
+        }
+        prop_assert_eq!(outcome, AckOutcome::Complete);
+        prop_assert_eq!(acker.pending(), 0);
+    }
+
+    /// Leaving any single tuple unacked keeps the tree pending and it
+    /// expires at the timeout.
+    #[test]
+    fn acker_times_out_incomplete_trees(
+        tree in tree_strategy(),
+        skip in 0usize..24,
+    ) {
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let root = RootId(0xBEEF);
+        let mut children: Vec<Vec<u64>> = vec![Vec::new(); tree.len()];
+        for &(id, parent) in &tree {
+            if let Some(p) = parent {
+                children[p].push(id);
+            }
+        }
+        acker.register(root, tree[0].0, SimTime::ZERO);
+        let skip = skip % tree.len();
+        for i in 0..tree.len() {
+            if i == skip {
+                continue;
+            }
+            let update = tree[i].0 ^ children[i].iter().fold(0u64, |a, &c| a ^ c);
+            let _ = acker.apply(root, update);
+        }
+        prop_assert!(acker.is_pending(root), "tree with a missing ack stays pending");
+        let expired = acker.expire(SimTime::from_secs(30));
+        prop_assert_eq!(expired, vec![root]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scale-plan properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any linear dataflow length, both Table 1 scenarios place every
+    /// instance exactly once, migrate exactly the user instances, and
+    /// conserve slot capacity.
+    #[test]
+    fn scale_plans_place_and_migrate_exactly_the_user_instances(
+        n in 1usize..40,
+        dir in prop_oneof![Just(ScaleDirection::In), Just(ScaleDirection::Out)],
+    ) {
+        let dag = library::linear_n(n);
+        let instances = InstanceSet::plan(&dag);
+        let plan = ScalePlan::paper_scenario(&dag, &instances, dir).expect("placeable");
+
+        prop_assert_eq!(plan.initial().len(), instances.len());
+        prop_assert_eq!(plan.target().len(), instances.len());
+        prop_assert_eq!(plan.migrating().len(), instances.user_instance_count(&dag));
+
+        // No two instances share a slot in either assignment.
+        let slots_initial: std::collections::HashSet<_> =
+            plan.initial().iter().map(|(_, s)| s).collect();
+        prop_assert_eq!(slots_initial.len(), instances.len());
+        let slots_target: std::collections::HashSet<_> =
+            plan.target().iter().map(|(_, s)| s).collect();
+        prop_assert_eq!(slots_target.len(), instances.len());
+
+        // Table 1 arithmetic.
+        let users = instances.user_instance_count(&dag);
+        prop_assert_eq!(plan.initial_vm_count(), users.div_ceil(2));
+        match dir {
+            ScaleDirection::In => prop_assert_eq!(plan.target_vm_count(), users.div_ceil(4)),
+            ScaleDirection::Out => prop_assert_eq!(plan.target_vm_count(), users),
+        }
+    }
+
+    /// Rate propagation conserves flow on arbitrary layered dataflows:
+    /// with 1:1 selectivity, the sink input rate equals the source rate
+    /// times the number of source→sink paths.
+    #[test]
+    fn rate_propagation_counts_paths(widths in proptest::collection::vec(1usize..4, 1..4)) {
+        let mut b = DataflowBuilder::new("layered");
+        let src = b.add(TaskSpec::source("src", 8.0));
+        let sink = b.add(TaskSpec::sink("sink"));
+        let mut prev = vec![src];
+        let mut paths = 1u64;
+        for (l, &w) in widths.iter().enumerate() {
+            let layer: Vec<TaskId> =
+                (0..w).map(|i| b.add(TaskSpec::operator(format!("l{l}n{i}")))).collect();
+            for &p in &prev {
+                for &t in &layer {
+                    b.edge(p, t);
+                }
+            }
+            paths *= w as u64;
+            prev = layer;
+        }
+        for &p in &prev {
+            b.edge(p, sink);
+        }
+        let dag = b.finish().expect("layered dataflow is valid");
+        let rates = RatePlan::for_dataflow(&dag);
+        let expected = 8.0 * paths as f64;
+        prop_assert!((rates.expected_sink_rate_hz(&dag) - expected).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end conservation under random migration timing (CCR)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whenever the migration is requested, CCR never loses or duplicates:
+    /// sink arrivals equal emitted roots (linear chain ⇒ 1 arrival each)
+    /// up to the in-flight tail.
+    #[test]
+    fn ccr_conserves_events_for_any_migration_time(
+        request_secs in 30u64..120,
+        seed in 0u64..1_000,
+        n in 2usize..7,
+    ) {
+        let dag = library::linear_n(n);
+        let outcome = MigrationController::new()
+            .with_request_at(SimTime::from_secs(request_secs))
+            .with_horizon(SimTime::from_secs(request_secs + 300))
+            .with_seed(seed)
+            .run(&dag, &Ccr::new(), ScaleDirection::In)
+            .expect("scenario placeable");
+        prop_assert!(outcome.completed, "migration completes");
+        prop_assert_eq!(outcome.stats.events_dropped, 0);
+        prop_assert_eq!(outcome.stats.replayed_roots, 0);
+        let emitted = outcome.stats.source_emissions;
+        let arrived = outcome.stats.sink_arrivals;
+        prop_assert!(
+            emitted - arrived <= (n as u64 + 4),
+            "all but the in-flight tail arrive: emitted {} vs arrived {}",
+            emitted,
+            arrived
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random layered dataflows also migrate loss-free under CCR — the
+    /// protocol does not depend on the paper's five shapes.
+    #[test]
+    fn ccr_is_loss_free_on_random_dataflows(
+        seed in 0u64..500,
+        layers in 1usize..5,
+        width in 1usize..4,
+    ) {
+        let dag = library::random_layered(seed, layers, width);
+        let outcome = MigrationController::new()
+            .with_request_at(SimTime::from_secs(45))
+            .with_horizon(SimTime::from_secs(300))
+            .with_seed(seed ^ 0xABCD)
+            .run(&dag, &Ccr::new(), ScaleDirection::Out)
+            .expect("random scenario placeable");
+        prop_assert!(outcome.completed, "{} migration completes", dag.name());
+        prop_assert_eq!(outcome.stats.events_dropped, 0);
+        prop_assert_eq!(outcome.stats.replayed_roots, 0);
+        // Everything captured is resumed.
+        prop_assert_eq!(outcome.stats.pending_replayed, outcome.stats.events_captured as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Summary statistics stay within the sample bounds.
+    #[test]
+    fn summary_mean_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s: Summary = xs.iter().copied().collect();
+        let min = s.min().expect("non-empty");
+        let max = s.max().expect("non-empty");
+        prop_assert!(min <= max);
+        prop_assert!(s.mean() >= min - 1e-9 && s.mean() <= max + 1e-9);
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    /// Rate timelines conserve event counts: bucket sums equal the number
+    /// of emissions/arrivals recorded.
+    #[test]
+    fn rate_timeline_conserves_counts(
+        times in proptest::collection::vec(0u64..600_000, 0..300),
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut log = TraceLog::new();
+        for (i, &ms) in sorted.iter().enumerate() {
+            log.record(TraceEvent::SourceEmit {
+                root: RootId(i as u64 + 1),
+                at: SimTime::from_millis(ms),
+                replay: false,
+            });
+        }
+        let tl = RateTimeline::from_trace(&log, SimDuration::from_secs(10));
+        let total: f64 = (0..tl.len()).map(|i| tl.input_rate_hz(i) * 10.0).sum();
+        prop_assert!((total - sorted.len() as f64).abs() < 1e-6);
+    }
+}
