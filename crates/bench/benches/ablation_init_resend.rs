@@ -18,12 +18,8 @@ fn main() {
     // worker readiness vs the 30 s grid, so averages need samples.
     let seeds: Vec<u64> = (1..=8).collect();
 
-    let mut table = TextTable::new(&[
-        "strategy",
-        "INIT cadence",
-        "restore (s)",
-        "stabilization (s)",
-    ]);
+    let mut table =
+        TextTable::new(&["strategy", "INIT cadence", "restore (s)", "stabilization (s)"]);
     let mut means = Vec::new();
     for (label, interval) in [("1 s (paper)", 1u64), ("30 s (ack timeout)", 30)] {
         for use_ccr in [false, true] {
@@ -48,16 +44,8 @@ fn main() {
     println!("{table}");
 
     for strategy in ["DCR", "CCR"] {
-        let fast = means
-            .iter()
-            .find(|&&(s, i, _)| s == strategy && i == 1)
-            .expect("measured")
-            .2;
-        let slow = means
-            .iter()
-            .find(|&&(s, i, _)| s == strategy && i == 30)
-            .expect("measured")
-            .2;
+        let fast = means.iter().find(|&&(s, i, _)| s == strategy && i == 1).expect("measured").2;
+        let slow = means.iter().find(|&&(s, i, _)| s == strategy && i == 30).expect("measured").2;
         assert!(
             fast <= slow,
             "{strategy}: 1 s resends must not be slower than 30 s ({fast:.1} vs {slow:.1})"

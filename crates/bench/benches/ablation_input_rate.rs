@@ -9,7 +9,7 @@ use flowmig_bench::{banner, BENCH_SEEDS};
 use flowmig_cluster::ScaleDirection;
 use flowmig_core::MigrationController;
 use flowmig_sim::SimTime;
-use flowmig_topology::{DataflowBuilder, Dataflow, TaskSpec};
+use flowmig_topology::{Dataflow, DataflowBuilder, TaskSpec};
 use flowmig_workloads::{drain_time_sweep, TextTable};
 
 /// A 10-task linear chain with a configurable source rate.
@@ -34,12 +34,8 @@ fn main() {
         .with_request_at(SimTime::from_secs(60))
         .with_horizon(SimTime::from_secs(420));
 
-    let mut table = TextTable::new(&[
-        "source rate (ev/s)",
-        "DCR drain (ms)",
-        "CCR capture (ms)",
-        "delta (ms)",
-    ]);
+    let mut table =
+        TextTable::new(&["source rate (ev/s)", "DCR drain (ms)", "CCR capture (ms)", "delta (ms)"]);
     let mut drains = Vec::new();
     for rate in [2.0, 4.0, 8.0, 16.0, 24.0] {
         let rows = drain_time_sweep(

@@ -53,9 +53,8 @@ fn main() {
     ]);
     let mut colocations = Vec::new();
     for scheduler in [&RoundRobinScheduler as &dyn InstanceScheduler, &PackingScheduler] {
-        let plan =
-            ScalePlan::paper_scenario_with(&dag, &inst, ScaleDirection::In, scheduler)
-                .expect("scenario placeable");
+        let plan = ScalePlan::paper_scenario_with(&dag, &inst, ScaleDirection::In, scheduler)
+            .expect("scenario placeable");
         let co = colocation(&plan, &dag, &inst);
         let outcome = controller.run_with_plan(&dag, &inst, &plan, &Ccr::new());
         assert!(outcome.completed, "{}: migration completes", scheduler.name());

@@ -25,20 +25,14 @@ fn main() {
 
     let mut measured: Vec<(String, String, f64, f64)> = Vec::new();
     for direction in [ScaleDirection::In, ScaleDirection::Out] {
-        let rows = drain_time_sweep(
-            library::paper_dataflows(),
-            direction,
-            &BENCH_SEEDS,
-            &controller,
-        )
-        .expect("paper scenarios placeable");
+        let rows =
+            drain_time_sweep(library::paper_dataflows(), direction, &BENCH_SEEDS, &controller)
+                .expect("paper scenarios placeable");
         for row in rows {
             let paper_cell = paper::DRAIN_TIMES_MS
                 .iter()
                 .find(|&&(d, s, _, _)| d == row.dag && s == direction.to_string())
-                .map_or_else(String::new, |&(_, _, p_dcr, p_ccr)| {
-                    format!("{p_dcr:.0}/{p_ccr:.0}")
-                });
+                .map_or_else(String::new, |&(_, _, p_dcr, p_ccr)| format!("{p_dcr:.0}/{p_ccr:.0}"));
             table.row_owned(vec![
                 row.dag.clone(),
                 direction.to_string(),

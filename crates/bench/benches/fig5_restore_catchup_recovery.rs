@@ -28,14 +28,10 @@ fn main() {
         for (i, report) in reports.iter().enumerate() {
             let dag_idx = i / 3;
             let strat_idx = i % 3;
-            let total = [
-                report.restore_mean(),
-                report.catchup_mean(),
-                report.recovery_mean(),
-            ]
-            .into_iter()
-            .flatten()
-            .fold(f64::NAN, f64::max);
+            let total = [report.restore_mean(), report.catchup_mean(), report.recovery_mean()]
+                .into_iter()
+                .flatten()
+                .fold(f64::NAN, f64::max);
             table.row_owned(vec![
                 report.dag.clone(),
                 report.strategy.to_owned(),

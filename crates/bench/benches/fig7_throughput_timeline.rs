@@ -21,9 +21,8 @@ fn main() {
         ("Fig. 7b — DCR", &Dcr::new()),
         ("Fig. 7c — CCR", &Ccr::new()),
     ] {
-        let outcome = controller
-            .run(&dag, strategy, ScaleDirection::In)
-            .expect("scenario placeable");
+        let outcome =
+            controller.run(&dag, strategy, ScaleDirection::In).expect("scenario placeable");
         let request = outcome.trace.migration_requested_at().expect("migration ran");
         let timeline = RateTimeline::from_trace(&outcome.trace, SimDuration::from_secs(10));
 
@@ -76,7 +75,5 @@ fn main() {
     for &(name, spikes) in &spike_counts[1..] {
         assert_eq!(spikes, 0, "{name} must emit no replays");
     }
-    println!(
-        "\nshape checks passed: DSM has {dsm_spikes} replay-burst cohorts; DCR/CCR none"
-    );
+    println!("\nshape checks passed: DSM has {dsm_spikes} replay-burst cohorts; DCR/CCR none");
 }

@@ -16,12 +16,7 @@ fn main() {
         banner(fig, "rate stabilization time per strategy");
         let reports = strategy_matrix(direction, &BENCH_SEEDS, &paper_controller())
             .expect("paper scenarios placeable");
-        let mut table = TextTable::new(&[
-            "DAG",
-            "strategy",
-            "stabilization (s)",
-            "paper (s)",
-        ]);
+        let mut table = TextTable::new(&["DAG", "strategy", "stabilization (s)", "paper (s)"]);
         for (i, report) in reports.iter().enumerate() {
             table.row_owned(vec![
                 report.dag.clone(),

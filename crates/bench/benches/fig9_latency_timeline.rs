@@ -17,9 +17,8 @@ fn main() {
     let dag = library::grid();
 
     for strategy in [&Dsm::new() as &dyn MigrationStrategy, &Dcr::new(), &Ccr::new()] {
-        let outcome = controller
-            .run(&dag, strategy, ScaleDirection::In)
-            .expect("scenario placeable");
+        let outcome =
+            controller.run(&dag, strategy, ScaleDirection::In).expect("scenario placeable");
         let request = outcome.trace.migration_requested_at().expect("migration ran");
         let timeline = LatencyTimeline::from_trace(&outcome.trace, SimDuration::from_secs(10));
         let stable = timeline
@@ -53,11 +52,8 @@ fn main() {
 
         // The paper's shape: latency is elevated during catchup and returns
         // to the stable line afterwards.
-        let peak = timeline
-            .rows()
-            .filter(|&(at, _)| at >= request)
-            .map(|(_, l)| l)
-            .fold(0.0, f64::max);
+        let peak =
+            timeline.rows().filter(|&(at, _)| at >= request).map(|(_, l)| l).fold(0.0, f64::max);
         assert!(
             peak > 2.0 * stable,
             "{}: migration must visibly elevate latency (peak {peak:.0} ms vs stable {stable:.0} ms)",

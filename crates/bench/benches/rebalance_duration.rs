@@ -13,8 +13,7 @@ fn main() {
     banner("§5.1 rebalance", "rebalance command duration across all runs");
 
     let mut all = Summary::new();
-    let mut table =
-        TextTable::new(&["DAG", "scale", "strategy", "rebalance mean (s)", "sd (s)"]);
+    let mut table = TextTable::new(&["DAG", "scale", "strategy", "rebalance mean (s)", "sd (s)"]);
     for direction in [ScaleDirection::In, ScaleDirection::Out] {
         let reports = strategy_matrix(direction, &BENCH_SEEDS, &paper_controller())
             .expect("paper scenarios placeable");

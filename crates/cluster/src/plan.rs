@@ -250,11 +250,10 @@ mod tests {
         for _ in 0..2 {
             pool.add(VmSize::D3, VmRole::TargetWorker);
         }
-        let plan =
-            ScalePlan::between(&dag, &inst, pool, ScaleDirection::In, &RoundRobinScheduler)
-                .unwrap();
-        let initial_util = plan.migrating().len() as f64
-            / plan.pool().slot_count(VmRole::InitialWorker) as f64;
+        let plan = ScalePlan::between(&dag, &inst, pool, ScaleDirection::In, &RoundRobinScheduler)
+            .unwrap();
+        let initial_util =
+            plan.migrating().len() as f64 / plan.pool().slot_count(VmRole::InitialWorker) as f64;
         assert_eq!(initial_util, 0.7);
         assert_eq!(plan.target_utilization(), 0.875);
     }
@@ -277,9 +276,8 @@ mod tests {
         for _ in 0..5 {
             pool.add(VmSize::D2, VmRole::TargetWorker);
         }
-        let plan =
-            ScalePlan::between(&dag, &inst, pool, ScaleDirection::Out, &RoundRobinScheduler)
-                .unwrap();
+        let plan = ScalePlan::between(&dag, &inst, pool, ScaleDirection::Out, &RoundRobinScheduler)
+            .unwrap();
         assert_eq!(plan.migrating().len(), 5);
         assert_eq!(plan.initial_vm_count(), 5);
     }

@@ -86,7 +86,10 @@ pub trait InstanceScheduler {
         let users: Vec<InstanceId> = instances.user_instances(dag).collect();
         let slots = self.order_slots(pool, pool.slots_of(role));
         if users.len() > slots.len() {
-            return Err(ScheduleError::NotEnoughSlots { needed: users.len(), available: slots.len() });
+            return Err(ScheduleError::NotEnoughSlots {
+                needed: users.len(),
+                available: slots.len(),
+            });
         }
         for (&i, &s) in users.iter().zip(&slots) {
             assignment.place(i, s);
@@ -150,9 +153,7 @@ mod tests {
         let dag = library::diamond(); // 8 user instances
         let inst = flowmig_topology::InstanceSet::plan(&dag);
         let pool = pool_for(4, VmSize::D2);
-        let a = RoundRobinScheduler
-            .assign(&dag, &inst, &pool, VmRole::InitialWorker)
-            .unwrap();
+        let a = RoundRobinScheduler.assign(&dag, &inst, &pool, VmRole::InitialWorker).unwrap();
         // First four user instances land on four distinct VMs.
         let users: Vec<InstanceId> = inst.user_instances(&dag).collect();
         let vms: std::collections::HashSet<_> =
@@ -176,9 +177,7 @@ mod tests {
         let dag = library::linear();
         let inst = flowmig_topology::InstanceSet::plan(&dag);
         let pool = pool_for(3, VmSize::D2);
-        let a = RoundRobinScheduler
-            .assign(&dag, &inst, &pool, VmRole::InitialWorker)
-            .unwrap();
+        let a = RoundRobinScheduler.assign(&dag, &inst, &pool, VmRole::InitialWorker).unwrap();
         let pinned_vm = pool.with_role(VmRole::Pinned).next().unwrap();
         for i in inst.iter() {
             let kind = dag.spec(inst.task_of(i)).kind();
@@ -192,9 +191,8 @@ mod tests {
         let dag = library::grid(); // 21 user instances
         let inst = flowmig_topology::InstanceSet::plan(&dag);
         let pool = pool_for(2, VmSize::D2); // only 4 worker slots
-        let err = RoundRobinScheduler
-            .assign(&dag, &inst, &pool, VmRole::InitialWorker)
-            .unwrap_err();
+        let err =
+            RoundRobinScheduler.assign(&dag, &inst, &pool, VmRole::InitialWorker).unwrap_err();
         assert_eq!(err, ScheduleError::NotEnoughSlots { needed: 21, available: 4 });
         assert!(err.to_string().contains("not enough slots"));
     }

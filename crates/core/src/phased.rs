@@ -160,8 +160,7 @@ impl MigrationCoordinator for PhasedCoordinator {
     }
 
     fn on_timer(&mut self, token: u32, ctl: &mut EngineCtl<'_, '_>) {
-        if token == WAVE_TIMEOUT_TOKEN
-            && matches!(self.phase, Phase::Draining | Phase::Committing)
+        if token == WAVE_TIMEOUT_TOKEN && matches!(self.phase, Phase::Draining | Phase::Committing)
         {
             self.abort(ctl);
         }

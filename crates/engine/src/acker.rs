@@ -199,4 +199,123 @@ mod tests {
         assert_eq!(acker.apply(root, 0xA), AckOutcome::Untracked);
         assert_eq!(acker.pending(), 0);
     }
+
+    #[test]
+    fn diamond_fan_in_completes_regardless_of_ack_order() {
+        // src --A--> a, src --B--> b; a --C--> sink, b --D--> sink,
+        // with ids A=1, B=2, C=4, D=8. Try every permutation of the four
+        // updates: XOR is commutative, so each completes exactly at the
+        // fourth update — and because the ids are linearly independent
+        // over GF(2), no proper subset of updates can transiently zero
+        // the ledger (the false-completion hazard Storm's 64-bit random
+        // ids make improbable, made impossible here by construction).
+        let updates = [0x1 ^ 0x4, 0x2 ^ 0x8, 0x4_u64, 0x8_u64];
+        let perms: Vec<Vec<usize>> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .flat_map(|(i, j)| {
+                let rest: Vec<usize> = (0..4).filter(|&k| k != i && k != j).collect();
+                [vec![i, j, rest[0], rest[1]], vec![i, j, rest[1], rest[0]]]
+            })
+            .collect();
+        assert_eq!(perms.len(), 24);
+        for perm in perms {
+            let mut acker = Acker::new(SimDuration::from_secs(30));
+            let root = RootId(5);
+            acker.register(root, 0x1 ^ 0x2, t(0));
+            for (k, &i) in perm.iter().enumerate() {
+                let outcome = acker.apply(root, updates[i]);
+                if k < 3 {
+                    assert_eq!(outcome, AckOutcome::Pending, "order {perm:?}, step {k}");
+                } else {
+                    assert_eq!(outcome, AckOutcome::Complete, "order {perm:?}");
+                }
+            }
+            assert_eq!(acker.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn child_ack_before_parent_update_stays_pending() {
+        // The sink's ack can reach the acker before the bolt's
+        // ack-and-emit update (out-of-order delivery). The ledger must
+        // not zero until both have arrived.
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let root = RootId(6);
+        acker.register(root, 0xA, t(0));
+        assert_eq!(acker.apply(root, 0xB), AckOutcome::Pending); // sink acks child first
+        assert_eq!(acker.apply(root, 0xA ^ 0xB), AckOutcome::Complete); // bolt's update lands
+    }
+
+    #[test]
+    fn zero_update_is_the_xor_identity() {
+        // A task that acks its input and emits children whose ids XOR to
+        // the input id sends an all-zero update; it must neither complete
+        // nor perturb the ledger.
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let root = RootId(7);
+        acker.register(root, 0x6, t(0));
+        assert_eq!(acker.apply(root, 0x6 ^ 0x2 ^ 0x4), AckOutcome::Pending); // 6^2^4 == 0
+        assert!(acker.is_pending(root), "zero update must not complete the tree");
+        // The children's sink acks then complete it (2 ^ 4 == 6).
+        assert_eq!(acker.apply(root, 0x2), AckOutcome::Pending);
+        assert_eq!(acker.apply(root, 0x4), AckOutcome::Complete);
+    }
+
+    #[test]
+    fn replay_mid_flight_discards_partial_ledger() {
+        // Re-registering a root (source replay) resets the ledger: acks
+        // belonging to the abandoned attempt must not zero the new tree.
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let root = RootId(8);
+        acker.register(root, 0xA, t(0));
+        assert_eq!(acker.apply(root, 0xA ^ 0xB), AckOutcome::Pending);
+        acker.register(root, 0xF0, t(10)); // replay with a fresh tuple id
+        assert_eq!(acker.apply(root, 0xB), AckOutcome::Pending); // stale ack from attempt 1
+        assert!(acker.is_pending(root), "stale ack must not complete the replayed tree");
+        // The replayed tree still completes once its own ack arrives (the
+        // stale 0xB is a permanent smudge Storm also tolerates: it keeps
+        // the ledger non-zero until timeout unless re-applied).
+        assert_eq!(acker.apply(root, 0xB), AckOutcome::Pending); // smudge cancelled
+        assert_eq!(acker.apply(root, 0xF0), AckOutcome::Complete);
+    }
+
+    #[test]
+    fn replay_after_completion_starts_a_fresh_tree() {
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let root = RootId(9);
+        acker.register(root, 0xA, t(0));
+        assert_eq!(acker.apply(root, 0xA), AckOutcome::Complete);
+        assert_eq!(acker.pending(), 0);
+        acker.register(root, 0xCC, t(40));
+        assert!(acker.is_pending(root));
+        assert!(acker.expire(t(69)).is_empty(), "fresh registration restarts the clock");
+        assert_eq!(acker.apply(root, 0xCC), AckOutcome::Complete);
+    }
+
+    #[test]
+    fn interleaved_roots_have_independent_ledgers() {
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let (r1, r2) = (RootId(10), RootId(11));
+        acker.register(r1, 0xA, t(0));
+        acker.register(r2, 0xA, t(0)); // same tuple id in a different tree
+        assert_eq!(acker.apply(r1, 0xA ^ 0xB), AckOutcome::Pending);
+        assert_eq!(acker.apply(r2, 0xA), AckOutcome::Complete);
+        assert!(acker.is_pending(r1), "completing r2 must not touch r1");
+        assert_eq!(acker.apply(r1, 0xB), AckOutcome::Complete);
+        assert_eq!(acker.pending(), 0);
+    }
+
+    #[test]
+    fn expire_returns_sorted_roots_and_spares_younger_trees() {
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        // Register in shuffled id order at mixed times.
+        for (id, at) in [(7u64, 0u64), (3, 0), (9, 0), (1, 0), (5, 25)] {
+            acker.register(RootId(id), 0xDEAD ^ id, t(at));
+        }
+        let expired = acker.expire(t(30));
+        assert_eq!(expired, vec![RootId(1), RootId(3), RootId(7), RootId(9)]);
+        assert_eq!(acker.pending(), 1);
+        assert!(acker.is_pending(RootId(5)));
+    }
 }

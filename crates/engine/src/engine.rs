@@ -268,11 +268,8 @@ impl EngineModel {
             expected_senders[i.index()] = expected;
         }
 
-        let pinned_vm = plan
-            .pool()
-            .with_role(VmRole::Pinned)
-            .next()
-            .expect("plan has a pinned source/sink VM");
+        let pinned_vm =
+            plan.pool().with_role(VmRole::Pinned).next().expect("plan has a pinned source/sink VM");
 
         EngineModel {
             dag,
@@ -618,7 +615,12 @@ impl EngineModel {
                     for _ in 0..copies {
                         let id = self.rng.id();
                         children_xor ^= id;
-                        let child = DataEvent { id, root: d.root, generated_at: d.generated_at, replayed: d.replayed };
+                        let child = DataEvent {
+                            id,
+                            root: d.root,
+                            generated_at: d.generated_at,
+                            replayed: d.replayed,
+                        };
                         let to = self.route(instance, edge, dtask);
                         self.deliver(QueueItem::Data(child), Some(instance), to, sched);
                     }
@@ -696,7 +698,12 @@ impl EngineModel {
                 // sender identity is irrelevant (no alignment).
                 let from = ControlSender::CheckpointSource(TaskId::from_index(0));
                 for to in targets {
-                    self.deliver(QueueItem::Control(ControlEvent { kind, wave, from }), None, to, sched);
+                    self.deliver(
+                        QueueItem::Control(ControlEvent { kind, wave, from }),
+                        None,
+                        to,
+                        sched,
+                    );
                 }
             }
             WaveRouting::Sequential => {
@@ -713,7 +720,12 @@ impl EngineModel {
                 }
                 for (to, src) in injections {
                     let from = ControlSender::CheckpointSource(src);
-                    self.deliver(QueueItem::Control(ControlEvent { kind, wave, from }), None, to, sched);
+                    self.deliver(
+                        QueueItem::Control(ControlEvent { kind, wave, from }),
+                        None,
+                        to,
+                        sched,
+                    );
                 }
             }
         }
@@ -745,8 +757,7 @@ impl EngineModel {
                     .copied()
                     .unwrap_or(WaveRouting::Sequential);
                 if routing == WaveRouting::Sequential {
-                    let seen =
-                        self.runtimes[instance].seen.record(ControlKind::Prepare, c.from);
+                    let seen = self.runtimes[instance].seen.record(ControlKind::Prepare, c.from);
                     if seen < self.expected_senders[instance] {
                         return; // waiting for the barrier to align
                     }
@@ -822,10 +833,8 @@ impl EngineModel {
                     self.ack_control(instance, ControlKind::Init, sched);
                     return;
                 }
-                let stored_pending = self
-                    .store
-                    .peek_pending_len(InstanceId::from_index(instance))
-                    .unwrap_or(0);
+                let stored_pending =
+                    self.store.peek_pending_len(InstanceId::from_index(instance)).unwrap_or(0);
                 let cost = self.config.store.op_cost(stored_pending);
                 self.runtimes[instance].current = Some(Work::Restore(c));
                 sched.after(cost, Ev::Finish { instance });
@@ -1264,8 +1273,7 @@ mod tests {
     fn outage_drops_events_and_recovers() {
         let dag = library::linear();
         let instances = InstanceSet::plan(&dag);
-        let victim = instances
-            .of_task(dag.task_by_name("t3").unwrap())[0];
+        let victim = instances.of_task(dag.task_by_name("t3").unwrap())[0];
         let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).unwrap();
         let mut e = Engine::new(
             dag,

@@ -81,9 +81,7 @@ fn sequential_prepare_aligns_across_multi_instance_upstreams() {
     let acks = engine
         .trace()
         .iter()
-        .filter(|e| {
-            matches!(e, TraceEvent::ControlAcked { kind: ControlKind::Prepare, .. })
-        })
+        .filter(|e| matches!(e, TraceEvent::ControlAcked { kind: ControlKind::Prepare, .. }))
         .count();
     assert_eq!(acks, 22, "each participant acks the wave exactly once");
 }
@@ -135,8 +133,7 @@ fn duplicate_broadcast_waves_are_idempotent() {
     }
     let dag = library::linear();
     let instances = InstanceSet::plan(&dag);
-    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In)
-        .expect("placeable");
+    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).expect("placeable");
     let mut engine = Engine::new(
         dag,
         instances,
@@ -182,8 +179,7 @@ fn commit_persists_state_for_every_participant() {
     let dag = library::traffic();
     let instances = InstanceSet::plan(&dag);
     let participants = instances.user_instance_count(&dag) + 1; // + sink
-    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In)
-        .expect("placeable");
+    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).expect("placeable");
     let mut engine = Engine::new(
         dag,
         instances,
@@ -195,11 +191,7 @@ fn commit_persists_state_for_every_participant() {
     );
     engine.schedule_migration(SimTime::from_secs(30));
     engine.run_until(SimTime::from_secs(60));
-    assert_eq!(
-        engine.store().len(),
-        participants,
-        "every participant committed a state blob"
-    );
+    assert_eq!(engine.store().len(), participants, "every participant committed a state blob");
     assert_eq!(engine.stats().state_persists as usize, participants);
 }
 
@@ -211,8 +203,7 @@ fn spout_throttles_at_max_pending() {
     let dag = library::linear();
     let instances = InstanceSet::plan(&dag);
     let sink = instances.of_task(dag.task_by_name("sink").expect("sink"))[0];
-    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In)
-        .expect("placeable");
+    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).expect("placeable");
     let mut engine = Engine::new(
         dag,
         instances,

@@ -93,7 +93,9 @@ mod tests {
         for (b, &per_sec) in rates.iter().enumerate() {
             for s in 0..10u64 {
                 for k in 0..per_sec as u64 {
-                    let at = SimTime::from_millis((b as u64 * 10 + s) * 1000 + k * (1000 / per_sec.max(1) as u64).max(1));
+                    let at = SimTime::from_millis(
+                        (b as u64 * 10 + s) * 1000 + k * (1000 / per_sec.max(1) as u64).max(1),
+                    );
                     log.record(TraceEvent::SinkArrival {
                         root: RootId(root),
                         at,

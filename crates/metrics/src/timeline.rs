@@ -98,7 +98,8 @@ impl RateTimeline {
     /// Iterates over `(bucket_start, input_hz, output_hz)` rows — the series
     /// plotted in Fig. 7.
     pub fn rows(&self) -> impl Iterator<Item = (SimTime, f64, f64)> + '_ {
-        (0..self.len()).map(move |i| (self.bucket_start(i), self.input_rate_hz(i), self.output_rate_hz(i)))
+        (0..self.len())
+            .map(move |i| (self.bucket_start(i), self.input_rate_hz(i), self.output_rate_hz(i)))
     }
 
     /// Indices of buckets whose input rate exceeds `threshold_hz` — used to
@@ -194,11 +195,8 @@ impl LatencyTimeline {
     /// Median of the per-window averages over `[from, to)` — the paper's
     /// "stable latency" horizontal line in Fig. 9.
     pub fn median_latency_ms(&self, from: SimTime, to: SimTime) -> Option<f64> {
-        let mut vals: Vec<f64> = self
-            .rows()
-            .filter(|&(t, _)| t >= from && t < to)
-            .map(|(_, l)| l)
-            .collect();
+        let mut vals: Vec<f64> =
+            self.rows().filter(|&(t, _)| t >= from && t < to).map(|(_, l)| l).collect();
         if vals.is_empty() {
             return None;
         }
@@ -213,7 +211,11 @@ mod tests {
     use crate::trace::RootId;
 
     fn emit(root: u64, at_ms: u64) -> TraceEvent {
-        TraceEvent::SourceEmit { root: RootId(root), at: SimTime::from_millis(at_ms), replay: false }
+        TraceEvent::SourceEmit {
+            root: RootId(root),
+            at: SimTime::from_millis(at_ms),
+            replay: false,
+        }
     }
 
     fn arrive(root: u64, at_ms: u64, gen_ms: u64) -> TraceEvent {

@@ -35,10 +35,7 @@ impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (then lowest-seq)
         // entry surfaces first.
-        other
-            .due
-            .cmp(&self.due)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.due.cmp(&self.due).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -42,11 +42,8 @@ impl SimRng {
     /// their own streams so adding draws in one subsystem does not perturb
     /// another.
     pub fn fork(&mut self, label: u64) -> SimRng {
-        let child_seed = self
-            .inner
-            .random::<u64>()
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(label);
+        let child_seed =
+            self.inner.random::<u64>().wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(label);
         SimRng::seed_from(child_seed)
     }
 

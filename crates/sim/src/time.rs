@@ -22,7 +22,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.as_millis(), 100);
 /// assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(100));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in microseconds.
@@ -36,7 +38,9 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_micros(), 2_500_000);
 /// assert_eq!(d.as_secs_f64(), 2.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {

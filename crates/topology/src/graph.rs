@@ -43,7 +43,9 @@ impl fmt::Display for ValidateDataflowError {
             Self::Cycle => write!(f, "dataflow contains a cycle"),
             Self::OrphanInput(t) => write!(f, "non-source task {t} has no input edge"),
             Self::OrphanOutput(t) => write!(f, "non-sink task {t} has no output edge"),
-            Self::BadTerminalEdge(t) => write!(f, "source/sink task {t} has an edge on the wrong side"),
+            Self::BadTerminalEdge(t) => {
+                write!(f, "source/sink task {t} has an edge on the wrong side")
+            }
         }
     }
 }
@@ -240,9 +242,10 @@ impl Dataflow {
 
     /// All edges as `(from, to)` pairs, in task order.
     pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
-        self.out_edges.iter().enumerate().flat_map(|(i, outs)| {
-            outs.iter().map(move |&b| (TaskId::from_index(i), b))
-        })
+        self.out_edges
+            .iter()
+            .enumerate()
+            .flat_map(|(i, outs)| outs.iter().map(move |&b| (TaskId::from_index(i), b)))
     }
 
     /// Tasks in topological order (sources first).
@@ -413,10 +416,8 @@ mod tests {
         use flowmig_sim::SimDuration;
         let dag = linear3();
         let t1 = dag.task_by_name("t1").unwrap();
-        let updated = dag.with_spec(
-            t1,
-            TaskSpec::operator("t1-v2").with_latency(SimDuration::from_millis(50)),
-        );
+        let updated = dag
+            .with_spec(t1, TaskSpec::operator("t1-v2").with_latency(SimDuration::from_millis(50)));
         assert_eq!(updated.spec(t1).latency(), SimDuration::from_millis(50));
         assert_eq!(updated.spec(t1).name(), "t1-v2");
         assert_eq!(updated.edges().count(), dag.edges().count());

@@ -242,24 +242,15 @@ mod tests {
         for (dag, tasks, instances) in expect {
             assert_eq!(dag.user_tasks().count(), tasks, "{} task count", dag.name());
             let inst = InstanceSet::plan(&dag);
-            assert_eq!(
-                inst.user_instance_count(&dag),
-                instances,
-                "{} instance count",
-                dag.name()
-            );
+            assert_eq!(inst.user_instance_count(&dag), instances, "{} instance count", dag.name());
         }
     }
 
     #[test]
     fn sink_rates_match_figure_4() {
-        for (dag, rate) in [
-            (linear(), 8.0),
-            (diamond(), 32.0),
-            (star(), 32.0),
-            (grid(), 32.0),
-            (traffic(), 32.0),
-        ] {
+        for (dag, rate) in
+            [(linear(), 8.0), (diamond(), 32.0), (star(), 32.0), (grid(), 32.0), (traffic(), 32.0)]
+        {
             let rates = RatePlan::for_dataflow(&dag);
             assert_eq!(rates.expected_sink_rate_hz(&dag), rate, "{} sink rate", dag.name());
         }
@@ -333,8 +324,7 @@ mod tests {
 
     #[test]
     fn paper_dataflows_are_all_valid_and_named() {
-        let names: Vec<String> =
-            paper_dataflows().iter().map(|d| d.name().to_owned()).collect();
+        let names: Vec<String> = paper_dataflows().iter().map(|d| d.name().to_owned()).collect();
         assert_eq!(names, ["linear", "diamond", "star", "grid", "traffic"]);
     }
 }

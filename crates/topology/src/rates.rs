@@ -180,13 +180,14 @@ impl InstanceSet {
     /// Number of **user-task** instances — the slot count of Table 1
     /// (source and sink instances live on their own pinned VM).
     pub fn user_instance_count(&self, dag: &Dataflow) -> usize {
-        self.iter()
-            .filter(|&i| dag.spec(self.task_of(i)).kind() == TaskKind::Operator)
-            .count()
+        self.iter().filter(|&i| dag.spec(self.task_of(i)).kind() == TaskKind::Operator).count()
     }
 
     /// Iterates over user-task instances only (the migratable set).
-    pub fn user_instances<'a>(&'a self, dag: &'a Dataflow) -> impl Iterator<Item = InstanceId> + 'a {
+    pub fn user_instances<'a>(
+        &'a self,
+        dag: &'a Dataflow,
+    ) -> impl Iterator<Item = InstanceId> + 'a {
         self.iter().filter(move |&i| dag.spec(self.task_of(i)).kind() == TaskKind::Operator)
     }
 }

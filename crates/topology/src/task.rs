@@ -117,7 +117,10 @@ impl TaskSpec {
     ///
     /// Panics if `selectivity` is negative or not finite.
     pub fn with_selectivity(mut self, selectivity: f64) -> Self {
-        assert!(selectivity.is_finite() && selectivity >= 0.0, "selectivity must be finite and >= 0");
+        assert!(
+            selectivity.is_finite() && selectivity >= 0.0,
+            "selectivity must be finite and >= 0"
+        );
         self.selectivity = selectivity;
         self
     }

@@ -124,8 +124,7 @@ mod tests {
 
     #[test]
     fn origin_shifts_time_axis() {
-        let csv =
-            throughput_csv(&mini_trace(), SimDuration::from_secs(10), SimTime::from_secs(10));
+        let csv = throughput_csv(&mini_trace(), SimDuration::from_secs(10), SimTime::from_secs(10));
         assert!(csv.contains("\n-10.0,"), "pre-origin buckets go negative");
     }
 

@@ -72,9 +72,8 @@ pub fn drain_time_sweep(
     let mut rows = Vec::new();
     for dag in dags {
         let name = dag.name().to_owned();
-        let experiment = Experiment::paper(dag, direction)
-            .with_seeds(seeds)
-            .with_controller(controller.clone());
+        let experiment =
+            Experiment::paper(dag, direction).with_seeds(seeds).with_controller(controller.clone());
         let dcr = experiment.run(&Dcr::new())?;
         let ccr = experiment.run(&Ccr::new())?;
         rows.push(DrainRow {

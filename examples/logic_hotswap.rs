@@ -49,9 +49,8 @@ fn main() -> Result<(), flowmig::cluster::ScheduleError> {
     let request = trace.migration_requested_at().expect("migration ran");
     let timeline = LatencyTimeline::from_trace(trace, SimDuration::from_secs(10));
     let before = timeline.median_latency_ms(SimTime::ZERO, request).expect("pre");
-    let after = timeline
-        .median_latency_ms(SimTime::from_secs(400), SimTime::from_secs(480))
-        .expect("post");
+    let after =
+        timeline.median_latency_ms(SimTime::from_secs(400), SimTime::from_secs(480)).expect("post");
 
     println!("hot-swapped `score-v1` (100 ms) -> `score-v2` (25 ms) via DCR migration\n");
     println!("  events dropped:          {}", engine.stats().events_dropped);

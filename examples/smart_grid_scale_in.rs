@@ -51,7 +51,10 @@ fn main() -> Result<(), flowmig::cluster::ScheduleError> {
         }
     }
 
-    println!("\nreliability: {} events dropped, {} captured in flight and resumed", outcome.stats.events_dropped, outcome.stats.events_captured);
+    println!(
+        "\nreliability: {} events dropped, {} captured in flight and resumed",
+        outcome.stats.events_dropped, outcome.stats.events_captured
+    );
     println!(
         "restore {:.1}s | catchup {:.1}s | stabilized {:.1}s after the request\n",
         outcome.metrics.restore.map_or(f64::NAN, |d| d.as_secs_f64()),

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so this proc-macro crate
+//! accepts `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]` helper
+//! attributes) and expands to nothing. The workspace only uses serde to
+//! mark types as serializable for downstream tooling; no code path
+//! serializes through the trait machinery yet. Swapping the real serde
+//! back in is a one-line change in the root manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

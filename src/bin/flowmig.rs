@@ -122,10 +122,7 @@ fn main() -> ExitCode {
     };
 
     if let Some(kind) = args.csv {
-        let origin = outcome
-            .trace
-            .migration_requested_at()
-            .unwrap_or(SimTime::ZERO);
+        let origin = outcome.trace.migration_requested_at().unwrap_or(SimTime::ZERO);
         match kind.as_str() {
             "throughput" => {
                 print!("{}", throughput_csv(&outcome.trace, SimDuration::from_secs(10), origin))

@@ -28,11 +28,7 @@ fn dcr_prepare_timeout_rolls_back_and_resumes() {
     // Crash t3 a hair after the migration request; keep it down long
     // enough to exceed the 10 s wave timeout.
     engine.schedule_migration(SimTime::from_secs(60));
-    engine.schedule_outage(
-        victim,
-        SimTime::from_millis(60_050),
-        SimDuration::from_secs(20),
-    );
+    engine.schedule_outage(victim, SimTime::from_millis(60_050), SimDuration::from_secs(20));
     engine.run_until(SimTime::from_secs(300));
 
     let trace = engine.trace();

@@ -42,9 +42,7 @@ fn dcr_migration_swaps_task_logic_with_clean_boundary() {
     // stage shorter after the migration.
     let request = trace.migration_requested_at().expect("requested");
     let timeline = LatencyTimeline::from_trace(trace, SimDuration::from_secs(10));
-    let before = timeline
-        .median_latency_ms(SimTime::ZERO, request)
-        .expect("pre-migration latency");
+    let before = timeline.median_latency_ms(SimTime::ZERO, request).expect("pre-migration latency");
     let after = timeline
         .median_latency_ms(SimTime::from_secs(330), SimTime::from_secs(420))
         .expect("post-migration latency");

@@ -47,12 +47,12 @@ fn dcr_and_ccr_are_exactly_once_on_all_dataflows() {
         let expected = arrivals_per_root(&dag);
         for direction in [ScaleDirection::In, ScaleDirection::Out] {
             for strategy in [&Dcr::new() as &dyn MigrationStrategy, &Ccr::new()] {
-                let outcome = quick_controller(7)
-                    .run(&dag, strategy, direction)
-                    .expect("scenario placeable");
+                let outcome =
+                    quick_controller(7).run(&dag, strategy, direction).expect("scenario placeable");
                 assert!(outcome.completed, "{} {} {}", dag.name(), direction, outcome.strategy);
                 assert_eq!(
-                    outcome.stats.events_dropped, 0,
+                    outcome.stats.events_dropped,
+                    0,
                     "{} {} {}: no loss",
                     dag.name(),
                     direction,
@@ -65,14 +65,10 @@ fn dcr_and_ccr_are_exactly_once_on_all_dataflows() {
                 // Roots still in flight at the horizon are allowed to be
                 // incomplete; every root with at least one arrival must
                 // have exactly the expected count except the last few.
-                let complete =
-                    per_root.values().filter(|&&c| c == expected).count() as u64;
+                let complete = per_root.values().filter(|&&c| c == expected).count() as u64;
                 let over = per_root.values().filter(|&&c| c > expected).count();
-                let partial: Vec<u64> = per_root
-                    .values()
-                    .copied()
-                    .filter(|&c| c != 0 && c < expected)
-                    .collect();
+                let partial: Vec<u64> =
+                    per_root.values().copied().filter(|&c| c != 0 && c < expected).collect();
                 assert_eq!(over, 0, "{} {}: duplicates", dag.name(), outcome.strategy);
                 // The in-flight tail at the horizon scales with pipeline
                 // depth: deeper DAGs hold more partially delivered roots.
@@ -197,12 +193,7 @@ fn phase_ordering_is_pause_drain_commit_rebalance_restore_resume() {
     .map(|p| (p, outcome.trace.phase_span(p).expect("phase recorded").0))
     .collect();
     for pair in spans.windows(2) {
-        assert!(
-            pair[0].1 <= pair[1].1,
-            "{} must start before {}",
-            pair[0].0,
-            pair[1].0
-        );
+        assert!(pair[0].1 <= pair[1].1, "{} must start before {}", pair[0].0, pair[1].0);
     }
     // Completion is recorded once the source resumes.
     assert!(outcome.trace.migration_completed_at().is_some());

@@ -1,8 +1,8 @@
 //! Property-based tests over the core data structures and protocols.
 
-use flowmig::prelude::*;
 use flowmig::engine::{AckOutcome, Acker};
 use flowmig::metrics::RootId;
+use flowmig::prelude::*;
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,48 @@
+//! Smoke tests pinning the Quickstart flows: the `src/lib.rs` doc example
+//! (CCR scale-in on the Grid dataflow) and `examples/quickstart.rs`
+//! (strategy comparison on Star). If these fail, the front door of the
+//! library is broken regardless of what the deeper suites say.
+
+use flowmig::prelude::*;
+
+/// The exact scenario of the crate-level Quickstart: Grid from 11×D2 to
+/// 6×D3 VMs under CCR, with the doc's assertions plus the reliability
+/// invariants the README-level claims rest on.
+#[test]
+fn quickstart_grid_ccr_scale_in_is_loss_free() {
+    let outcome = MigrationController::new()
+        .with_request_at(SimTime::from_secs(60))
+        .with_horizon(SimTime::from_secs(360))
+        .run(&library::grid(), &Ccr::new(), ScaleDirection::In)
+        .expect("Table 1 grid scenario is placeable");
+
+    assert!(outcome.completed, "migration must complete within the horizon");
+    assert_eq!(outcome.stats.events_dropped, 0, "CCR loses nothing");
+    assert_eq!(outcome.stats.replayed_roots, 0, "CCR replays nothing");
+    assert!(outcome.metrics.restore.is_some(), "restore phase is measured");
+    assert!(outcome.stats.sink_arrivals > 0, "the dataflow keeps delivering through the migration");
+}
+
+/// The `examples/quickstart.rs` flow: Star scaled in under all three
+/// strategies. DCR and CCR uphold the paper's zero-loss/zero-replay
+/// claim; DSM completes but relies on acker replays (the example's
+/// closing line), so only completion is asserted for it.
+#[test]
+fn quickstart_example_star_strategies_complete() {
+    let dag = library::star();
+    let controller = MigrationController::new()
+        .with_request_at(SimTime::from_secs(60))
+        .with_horizon(SimTime::from_secs(420))
+        .with_seed(7);
+
+    for strategy in [&Dsm::new() as &dyn MigrationStrategy, &Dcr::new(), &Ccr::new()] {
+        let outcome = controller
+            .run(&dag, strategy, ScaleDirection::In)
+            .expect("Table 1 star scenario is placeable");
+        assert!(outcome.completed, "{} migration completes", outcome.strategy);
+        if outcome.strategy != "DSM" {
+            assert_eq!(outcome.stats.events_dropped, 0, "{} loses nothing", outcome.strategy);
+            assert_eq!(outcome.stats.replayed_roots, 0, "{} replays nothing", outcome.strategy);
+        }
+    }
+}
