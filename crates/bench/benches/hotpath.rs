@@ -1,0 +1,215 @@
+//! Hot-path micro-benchmarks: acker register/apply/expire, event-queue
+//! batch dispatch, and sharded state-store round-trips at 1k/10k/100k
+//! pending roots.
+//!
+//! The acker comparison pits the production bucketed expiry wheel
+//! ([`flowmig_engine::Acker`]) against `NaiveScanAcker`, a reimplementation
+//! of the pre-wheel ledger (HashMap + full scan per expiry tick): the tick
+//! cost of the wheel is O(expired) while the scan is O(pending), which is
+//! what keeps 100k in-flight roots affordable. Results are recorded in
+//! `EXPERIMENTS.md`; CI runs a reduced-sample smoke pass exporting
+//! `BENCH_hotpath.json` (see the criterion shim's `CRITERION_JSON`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flowmig_engine::{Acker, ShardedStateStore, StateBlob};
+use flowmig_metrics::RootId;
+use flowmig_sim::{EventQueue, SimDuration, SimTime};
+use flowmig_topology::InstanceId;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+const SIZES: [(usize, &str); 3] = [(1_000, "1k"), (10_000, "10k"), (100_000, "100k")];
+const TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+/// The pre-wheel acker: expiry scans every ledger, exactly as the seed
+/// implementation did (kept here as the benchmark baseline).
+struct NaiveScanAcker {
+    ledgers: HashMap<RootId, (u64, SimTime)>,
+    timeout: SimDuration,
+}
+
+impl NaiveScanAcker {
+    fn new(timeout: SimDuration) -> Self {
+        NaiveScanAcker { ledgers: HashMap::new(), timeout }
+    }
+
+    fn register(&mut self, root: RootId, xor: u64, now: SimTime) {
+        self.ledgers.insert(root, (xor, now));
+    }
+
+    fn expire(&mut self, now: SimTime) -> Vec<RootId> {
+        let timeout = self.timeout;
+        let mut expired: Vec<RootId> = self
+            .ledgers
+            .iter()
+            .filter(|(_, &(_, at))| now.saturating_since(at) >= timeout)
+            .map(|(&r, _)| r)
+            .collect();
+        expired.sort();
+        for r in &expired {
+            self.ledgers.remove(r);
+        }
+        expired
+    }
+}
+
+/// Registration instants spread over one second, as a tick-driven source
+/// would produce them.
+fn spread(i: usize) -> SimTime {
+    SimTime::from_micros((i as u64 * 7_919) % 1_000_000)
+}
+
+fn bench_acker_register_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acker");
+    for (n, label) in SIZES {
+        group.bench_function(&format!("register_apply_{label}"), |b| {
+            b.iter_batched(
+                || Acker::new(TIMEOUT),
+                |mut acker| {
+                    for i in 1..=n as u64 {
+                        let root = RootId(i);
+                        acker.register(root, i, spread(i as usize));
+                        // Chain of 3 hops: op1 -> op2 -> sink.
+                        acker.apply(root, i ^ (i << 1));
+                        acker.apply(root, (i << 1) ^ (i << 2));
+                        acker.apply(root, i << 2);
+                    }
+                    black_box(acker.pending())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_acker_expire_tick(c: &mut Criterion) {
+    // The steady-state expiry tick: many trees pending, none (or almost
+    // none) due. This is the quadratic-ish path the wheel removes — the
+    // old scan pays O(pending) per tick even when nothing expires.
+    // A no-op tick mutates neither implementation, so one pre-built acker
+    // per benchmark is reused across samples — the measurement is the tick
+    // alone, free of setup and drop noise.
+    let mut group = c.benchmark_group("expire_tick");
+    for (n, label) in SIZES {
+        group.bench_function(&format!("wheel_{label}_pending"), |b| {
+            let mut acker = Acker::new(TIMEOUT);
+            for i in 1..=n as u64 {
+                acker.register(RootId(i), i, spread(i as usize));
+            }
+            b.iter(|| black_box(acker.expire(SimTime::from_secs(15)).len()))
+        });
+        group.bench_function(&format!("naive_scan_{label}_pending"), |b| {
+            let mut acker = NaiveScanAcker::new(TIMEOUT);
+            for i in 1..=n as u64 {
+                acker.register(RootId(i), i, spread(i as usize));
+            }
+            b.iter(|| black_box(acker.expire(SimTime::from_secs(15)).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_acker_expire_due(c: &mut Criterion) {
+    // The failure-cohort tick: every tree is past its deadline at once
+    // (a worker died). Both implementations do O(n) work plus the replay
+    // sort; the wheel must not regress this case.
+    let mut group = c.benchmark_group("expire_all_due");
+    for (n, label) in SIZES {
+        group.bench_function(&format!("wheel_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut acker = Acker::new(TIMEOUT);
+                    for i in 1..=n as u64 {
+                        acker.register(RootId(i), i, spread(i as usize));
+                    }
+                    acker
+                },
+                |mut acker| black_box(acker.expire(SimTime::from_secs(31)).len()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("schedule_pop_singles_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_micros((i * 7_919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("schedule_batch_pop_due_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            // 100 instants × 100-event batches, as the engine's delivery
+            // waves produce them.
+            for instant in 0..100u64 {
+                let due = SimTime::from_millis(instant);
+                q.schedule_batch(due, (0..100u64).map(|i| instant * 100 + i));
+            }
+            let mut sum = 0u64;
+            while let Some(t) = q.peek_time() {
+                for (_, v) in q.pop_due(t) {
+                    sum = sum.wrapping_add(v);
+                }
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_sharded_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_store");
+    let blob = StateBlob {
+        processed: 42,
+        pending: (0..2_000u64)
+            .map(|i| flowmig_engine::DataEvent {
+                id: i + 1,
+                root: RootId(i + 1),
+                generated_at: SimTime::ZERO,
+                replayed: false,
+            })
+            .collect(),
+    };
+    for shards in [1usize, 8] {
+        group.bench_function(&format!("commit_wave_64_instances_{shards}_shards"), |b| {
+            b.iter_batched(
+                || ShardedStateStore::with_shards(shards),
+                |mut store| {
+                    for idx in 0..64 {
+                        store.put(InstanceId::from_index(idx), blob.clone());
+                    }
+                    let mut fetched = 0usize;
+                    for idx in 0..64 {
+                        fetched +=
+                            store.get(InstanceId::from_index(idx)).map_or(0, |b| b.pending.len());
+                    }
+                    black_box((fetched, store.bytes_written()))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    hotpath,
+    bench_acker_register_apply,
+    bench_acker_expire_tick,
+    bench_acker_expire_due,
+    bench_event_queue,
+    bench_sharded_store,
+);
+criterion_main!(hotpath);

@@ -6,10 +6,23 @@
 //! zero exactly when every causally derived tuple has been acked (§2,
 //! "Guaranteeing Message Processing"). Trees that do not zero out within
 //! the timeout are failed and their roots replayed by the source.
+//!
+//! Expiry uses a bucketed wheel rather than a full ledger scan: each
+//! registration also files the root under a coarse time bucket keyed by
+//! its deadline (`registered_at + timeout`), so [`Acker::expire`] pops only
+//! the due buckets — O(expired), not O(pending) — the same rotating-bucket
+//! idea as Storm's `TimeCacheMap`. Entries whose root completed, was
+//! forgotten, or was re-registered in the meantime are dropped lazily when
+//! their bucket comes due.
 
 use flowmig_metrics::RootId;
 use flowmig_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// Number of wheel buckets per timeout span: buckets are `timeout / 64`
+/// wide, coarse enough to keep the `BTreeMap` tiny and fine enough that an
+/// expiry tick touches only entries already due (or due within one bucket).
+const BUCKETS_PER_TIMEOUT: u64 = 64;
 
 /// Outcome of an XOR update on a root's ledger.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,12 +64,19 @@ struct Ledger {
 pub struct Acker {
     ledgers: HashMap<RootId, Ledger>,
     timeout: SimDuration,
+    /// Expiry wheel: bucket index (`deadline / bucket_width`) → roots whose
+    /// deadline falls in that bucket, tagged with the exact deadline so
+    /// stale entries (re-registered roots) are recognizable.
+    wheel: BTreeMap<u64, Vec<(RootId, SimTime)>>,
+    /// Width of one wheel bucket in microseconds (at least 1).
+    bucket_width: u64,
 }
 
 impl Acker {
     /// Creates an acker with the given tree timeout.
     pub fn new(timeout: SimDuration) -> Self {
-        Acker { ledgers: HashMap::new(), timeout }
+        let bucket_width = (timeout.as_micros() / BUCKETS_PER_TIMEOUT).max(1);
+        Acker { ledgers: HashMap::new(), timeout, wheel: BTreeMap::new(), bucket_width }
     }
 
     /// Registers a new root whose initial tuple ids XOR to `xor`
@@ -66,6 +86,9 @@ impl Acker {
     /// timeout clock.
     pub fn register(&mut self, root: RootId, xor: u64, now: SimTime) {
         self.ledgers.insert(root, Ledger { xor, registered_at: now });
+        let deadline = now + self.timeout;
+        let bucket = deadline.as_micros() / self.bucket_width;
+        self.wheel.entry(bucket).or_default().push((root, deadline));
     }
 
     /// Applies an ack update: the processing task sends
@@ -76,6 +99,8 @@ impl Acker {
             Some(ledger) => {
                 ledger.xor ^= update;
                 if ledger.xor == 0 {
+                    // The wheel entry goes stale and is dropped lazily when
+                    // its bucket comes due.
                     self.ledgers.remove(&root);
                     AckOutcome::Complete
                 } else {
@@ -85,20 +110,44 @@ impl Acker {
         }
     }
 
-    /// Removes and returns the roots whose trees have exceeded the timeout.
+    /// Removes and returns the roots whose trees have exceeded the timeout,
+    /// oldest registration first (FIFO replay order, ids as tie-break).
+    ///
+    /// Only the wheel buckets at or before `now` are visited, so a tick
+    /// costs O(expired + stale entries in due buckets), independent of the
+    /// number of still-pending trees.
     pub fn expire(&mut self, now: SimTime) -> Vec<RootId> {
-        let timeout = self.timeout;
-        let mut expired: Vec<RootId> = self
-            .ledgers
-            .iter()
-            .filter(|(_, l)| now.saturating_since(l.registered_at) >= timeout)
-            .map(|(&r, _)| r)
-            .collect();
-        expired.sort(); // deterministic replay order
-        for r in &expired {
-            self.ledgers.remove(r);
+        let now_bucket = now.as_micros() / self.bucket_width;
+        let due_buckets: Vec<u64> = self.wheel.range(..=now_bucket).map(|(&b, _)| b).collect();
+        let mut expired: Vec<(SimTime, RootId)> = Vec::new();
+        let mut requeue: Vec<(RootId, SimTime)> = Vec::new();
+        for bucket in due_buckets {
+            let entries = self.wheel.remove(&bucket).expect("due bucket present");
+            for (root, deadline) in entries {
+                let live = self
+                    .ledgers
+                    .get(&root)
+                    .is_some_and(|l| l.registered_at + self.timeout == deadline);
+                if !live {
+                    continue; // completed, forgotten, or re-registered
+                }
+                if deadline <= now {
+                    let ledger = self.ledgers.remove(&root).expect("live ledger");
+                    expired.push((ledger.registered_at, root));
+                } else {
+                    // Same bucket, but not yet due: keep for a later tick.
+                    requeue.push((root, deadline));
+                }
+            }
         }
-        expired
+        for (root, deadline) in requeue {
+            let bucket = deadline.as_micros() / self.bucket_width;
+            self.wheel.entry(bucket).or_default().push((root, deadline));
+        }
+        // Failed roots replay in the order the source emitted them (FIFO),
+        // with the id as a deterministic tie-break within one instant.
+        expired.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        expired.into_iter().map(|(_, r)| r).collect()
     }
 
     /// Forgets a root without completing it (e.g. the source gave up).
@@ -281,6 +330,20 @@ mod tests {
     }
 
     #[test]
+    fn replay_mid_flight_expires_on_the_new_clock_only() {
+        // The stale wheel entry from the first registration must not fail
+        // the replayed tree early: the deadline tag mismatch marks it dead.
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        let root = RootId(12);
+        acker.register(root, 0xA, t(0));
+        acker.register(root, 0xBB, t(25)); // replay while still pending
+        assert!(acker.expire(t(30)).is_empty(), "old deadline is stale");
+        assert!(acker.is_pending(root));
+        assert!(acker.expire(t(54)).is_empty());
+        assert_eq!(acker.expire(t(55)), vec![root]);
+    }
+
+    #[test]
     fn replay_after_completion_starts_a_fresh_tree() {
         let mut acker = Acker::new(SimDuration::from_secs(30));
         let root = RootId(9);
@@ -307,15 +370,68 @@ mod tests {
     }
 
     #[test]
-    fn expire_returns_sorted_roots_and_spares_younger_trees() {
+    fn expire_returns_fifo_order_and_spares_younger_trees() {
         let mut acker = Acker::new(SimDuration::from_secs(30));
-        // Register in shuffled id order at mixed times.
-        for (id, at) in [(7u64, 0u64), (3, 0), (9, 0), (1, 0), (5, 25)] {
-            acker.register(RootId(id), 0xDEAD ^ id, t(at));
+        // Register in shuffled id order at mixed times: replay order must
+        // follow registration age (Storm's spout retries oldest failures
+        // first), not the root id.
+        for (id, at_ms) in [(7u64, 2_000u64), (3, 0), (9, 1_000), (1, 1_000), (5, 25_000)] {
+            acker.register(RootId(id), 0xDEAD ^ id, SimTime::from_millis(at_ms));
         }
-        let expired = acker.expire(t(30));
-        assert_eq!(expired, vec![RootId(1), RootId(3), RootId(7), RootId(9)]);
+        let expired = acker.expire(t(33));
+        assert_eq!(expired, vec![RootId(3), RootId(1), RootId(9), RootId(7)]);
         assert_eq!(acker.pending(), 1);
         assert!(acker.is_pending(RootId(5)));
+    }
+
+    #[test]
+    fn expire_ties_on_registration_break_by_id() {
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        for id in [7u64, 3, 9, 1] {
+            acker.register(RootId(id), 0xBEEF ^ id, t(0));
+        }
+        assert_eq!(
+            acker.expire(t(30)),
+            vec![RootId(1), RootId(3), RootId(7), RootId(9)],
+            "same-instant registrations expire in id order"
+        );
+    }
+
+    #[test]
+    fn expire_tick_with_nothing_due_touches_no_ledger() {
+        // 10k pending roots all registered now: an expiry tick well before
+        // the deadline must return nothing and leave every tree pending.
+        let mut acker = Acker::new(SimDuration::from_secs(30));
+        for i in 1..=10_000u64 {
+            acker.register(RootId(i), i, SimTime::from_millis(i % 1_000));
+        }
+        assert!(acker.expire(t(15)).is_empty());
+        assert_eq!(acker.pending(), 10_000);
+    }
+
+    #[test]
+    fn wheel_matches_full_scan_reference() {
+        // Cross-check the wheel against the old O(pending) scan semantics
+        // over a dense grid of scan instants.
+        let timeout = SimDuration::from_secs(30);
+        let mut acker = Acker::new(timeout);
+        let mut reference: Vec<(RootId, SimTime)> = Vec::new();
+        for i in 0..200u64 {
+            let at = SimTime::from_millis(i * 373 % 60_000);
+            acker.register(RootId(i), i + 1, at);
+            reference.push((RootId(i), at));
+        }
+        for step in 0..100u64 {
+            let now = SimTime::from_millis(step * 997);
+            let mut want: Vec<(SimTime, RootId)> = reference
+                .iter()
+                .filter(|(_, at)| now.saturating_since(*at) >= timeout)
+                .map(|&(r, at)| (at, r))
+                .collect();
+            want.sort_unstable();
+            reference.retain(|(_, at)| now.saturating_since(*at) < timeout);
+            let got = acker.expire(now);
+            assert_eq!(got, want.into_iter().map(|(_, r)| r).collect::<Vec<_>>(), "now={now}");
+        }
     }
 }

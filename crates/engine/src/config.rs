@@ -82,6 +82,10 @@ pub struct EngineConfig {
     pub net_latency_remote: SimDuration,
     /// State-store (Redis) latency model.
     pub store: StoreLatencyModel,
+    /// Number of shards the checkpoint store is partitioned into (instances
+    /// hash to shards by index; per-shard counters price COMMIT waves).
+    /// Must be at least 1.
+    pub store_shards: usize,
     /// Maximum unacked roots outstanding at the source before new emissions
     /// are throttled (Storm's `max.spout.pending`; only with acking).
     pub max_spout_pending: usize,
@@ -121,6 +125,7 @@ impl Default for EngineConfig {
             net_latency_local: SimDuration::from_micros(200),
             net_latency_remote: SimDuration::from_micros(1_500),
             store: StoreLatencyModel::default(),
+            store_shards: crate::store::ShardedStateStore::DEFAULT_SHARDS,
             max_spout_pending: 60,
             source_drain_interval: SimDuration::from_millis(10),
             max_source_backlog: 100,

@@ -12,7 +12,7 @@ use crate::event::{ControlEvent, ControlSender, DataEvent, Ev, QueueItem};
 use crate::instance::{InstanceRuntime, Work, WorkerStatus};
 use crate::protocol::{MigrationCoordinator, ProtocolConfig, WaveRouting};
 use crate::stats::EngineStats;
-use crate::store::{StateBlob, StateStore};
+use crate::store::{ShardedStateStore, StateBlob};
 use flowmig_cluster::{Assignment, ScalePlan, VmId, VmRole};
 use flowmig_metrics::{ControlKind, MigrationPhase, RootId, TraceEvent, TraceLog};
 use flowmig_sim::{Process, RunOutcome, Scheduler, SimDuration, SimRng, SimTime, Simulation};
@@ -62,7 +62,10 @@ pub struct EngineModel {
     source_of: HashMap<usize, usize>,
     acker: Acker,
     cache: HashMap<RootId, CachedRoot>,
-    store: StateStore,
+    /// In-flight (registered, unacked) root count per source — the
+    /// per-spout ledger behind `max.spout.pending` gating.
+    in_flight: Vec<usize>,
+    store: ShardedStateStore,
     trace: TraceLog,
     stats: EngineStats,
     rng: SimRng,
@@ -270,6 +273,7 @@ impl EngineModel {
 
         let pinned_vm =
             plan.pool().with_role(VmRole::Pinned).next().expect("plan has a pinned source/sink VM");
+        let source_count = sources.len();
 
         EngineModel {
             dag,
@@ -283,9 +287,10 @@ impl EngineModel {
             runtimes,
             sources,
             source_of,
+            in_flight: vec![0; source_count],
             acker: Acker::new(config.ack_timeout),
             cache: HashMap::new(),
-            store: StateStore::new(),
+            store: ShardedStateStore::with_shards(config.store_shards),
             trace: TraceLog::new(),
             stats: EngineStats::default(),
             rng: SimRng::seed_from(seed),
@@ -344,10 +349,13 @@ impl EngineModel {
     // Sources
     // ------------------------------------------------------------------
 
-    fn can_emit(&self) -> bool {
+    /// Whether source `sidx` may emit: Storm's `max.spout.pending` is a
+    /// *per-spout* cap on unacked roots, so each source is gated on its own
+    /// in-flight count — a slow branch must not throttle its siblings.
+    fn can_emit(&self, sidx: usize) -> bool {
         !self.paused
             && (!self.protocol.ack_user_events
-                || self.acker.pending() < self.config.max_spout_pending)
+                || self.in_flight[sidx] < self.config.max_spout_pending)
     }
 
     fn on_source_tick(&mut self, instance: usize, sched: &mut Scheduler<'_, Ev>) {
@@ -363,10 +371,10 @@ impl EngineModel {
         let root = RootId(self.rng.id());
         let gen = sched.now();
         self.stats.roots_generated += 1;
-        if self.can_emit() && backlog_len == 0 {
+        if self.can_emit(sidx) && backlog_len == 0 {
             self.emit_root(sidx, root, gen, false, sched);
         } else {
-            if !self.paused && !self.can_emit() {
+            if !self.paused && !self.can_emit(sidx) {
                 self.stats.spout_throttled += 1;
             }
             self.sources[sidx].backlog.push_back((root, gen));
@@ -390,7 +398,7 @@ impl EngineModel {
 
     fn maybe_schedule_drain(&mut self, sidx: usize, sched: &mut Scheduler<'_, Ev>) {
         let s = &self.sources[sidx];
-        if !s.draining && (!s.backlog.is_empty() || !s.retries.is_empty()) && self.can_emit() {
+        if !s.draining && (!s.backlog.is_empty() || !s.retries.is_empty()) && self.can_emit(sidx) {
             let instance = s.instance;
             self.sources[sidx].draining = true;
             sched.now_event(Ev::SourceDrain { instance });
@@ -400,7 +408,7 @@ impl EngineModel {
     fn on_source_drain(&mut self, instance: usize, sched: &mut Scheduler<'_, Ev>) {
         let sidx = self.source_of[&instance];
         let empty = self.sources[sidx].backlog.is_empty() && self.sources[sidx].retries.is_empty();
-        if !self.can_emit() || empty {
+        if !self.can_emit(sidx) || empty {
             self.sources[sidx].draining = false;
             return;
         }
@@ -454,6 +462,9 @@ impl EngineModel {
             self.deliver(QueueItem::Data(child), Some(instance), to, sched);
         }
         if self.protocol.ack_user_events {
+            if !self.acker.is_pending(root) {
+                self.in_flight[sidx] += 1;
+            }
             self.acker.register(root, xor, sched.now());
         }
         self.trace.record(TraceEvent::SourceEmit { root, at: sched.now(), replay });
@@ -643,14 +654,18 @@ impl EngineModel {
         if self.acker.apply(root, update) == AckOutcome::Complete {
             self.stats.roots_acked += 1;
             self.trace.record(TraceEvent::RootAcked { root, at: sched.now() });
-            self.cache.remove(&root);
-            for s in 0..self.sources.len() {
-                self.maybe_schedule_drain(s, sched);
+            if let Some(cached) = self.cache.remove(&root) {
+                // Completion frees one pending slot at the owning spout
+                // only; sibling spouts are gated on their own counts.
+                self.in_flight[cached.source] = self.in_flight[cached.source].saturating_sub(1);
+                self.maybe_schedule_drain(cached.source, sched);
             }
         }
     }
 
     fn on_acker_scan(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        // `expire` hands back failed roots oldest-registration-first, so the
+        // retry queues below preserve Storm's FIFO replay order.
         for root in self.acker.expire(sched.now()) {
             self.stats.roots_failed += 1;
             self.trace.record(TraceEvent::RootFailed { root, at: sched.now() });
@@ -659,6 +674,7 @@ impl EngineModel {
                 // re-emission through the spout's gated loop — Storm's
                 // closed-loop flow control, which is what lets DSM's replay
                 // storms eventually damp out.
+                self.in_flight[cached.source] = self.in_flight[cached.source].saturating_sub(1);
                 self.sources[cached.source].retries.push_back(root);
                 self.maybe_schedule_drain(cached.source, sched);
             }
@@ -697,39 +713,54 @@ impl EngineModel {
                 // Broadcast is hub-and-spoke from the checkpoint source;
                 // sender identity is irrelevant (no alignment).
                 let from = ControlSender::CheckpointSource(TaskId::from_index(0));
-                for to in targets {
-                    self.deliver(
-                        QueueItem::Control(ControlEvent { kind, wave, from }),
-                        None,
-                        to,
-                        sched,
-                    );
-                }
+                let injections: Vec<(usize, ControlSender)> =
+                    targets.into_iter().map(|to| (to, from)).collect();
+                self.deliver_wave_batch(injections, kind, wave, sched);
             }
             WaveRouting::Sequential => {
                 // Enter at root operator tasks: one injection per (source
                 // upstream, instance), impersonating that source for the
                 // alignment accounting.
-                let mut injections: Vec<(usize, TaskId)> = Vec::new();
+                let mut injections: Vec<(usize, ControlSender)> = Vec::new();
                 for src in self.dag.sources() {
                     for &child in self.dag.downstream(src) {
                         for &inst in self.instances.of_task(child) {
-                            injections.push((inst.index(), src));
+                            injections.push((inst.index(), ControlSender::CheckpointSource(src)));
                         }
                     }
                 }
-                for (to, src) in injections {
-                    let from = ControlSender::CheckpointSource(src);
-                    self.deliver(
-                        QueueItem::Control(ControlEvent { kind, wave, from }),
-                        None,
-                        to,
-                        sched,
-                    );
-                }
+                self.deliver_wave_batch(injections, kind, wave, sched);
             }
         }
         wave
+    }
+
+    /// Fans a control wave out from the checkpoint source: injections with
+    /// the same network delay share one instant, so each delay class is
+    /// handed to the future-event list as a single batch
+    /// ([`Scheduler::after_batch`]) instead of one insertion per target.
+    /// Within a class the injection order is kept, and classes never tie on
+    /// the due instant, so dispatch order matches per-target delivery.
+    fn deliver_wave_batch(
+        &mut self,
+        injections: Vec<(usize, ControlSender)>,
+        kind: ControlKind,
+        wave: u32,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        let mut classes: Vec<(SimDuration, Vec<Ev>)> = Vec::new();
+        for (to, from) in injections {
+            let delay = self.net_delay(None, to);
+            let ev =
+                Ev::Deliver { to, item: QueueItem::Control(ControlEvent { kind, wave, from }) };
+            match classes.iter_mut().find(|(d, _)| *d == delay) {
+                Some((_, batch)) => batch.push(ev),
+                None => classes.push((delay, vec![ev])),
+            }
+        }
+        for (delay, batch) in classes {
+            sched.after_batch(delay, batch);
+        }
     }
 
     fn already_acked(&self, kind: ControlKind, instance: usize) -> bool {
@@ -1167,9 +1198,16 @@ impl Engine {
         &self.model.stats
     }
 
-    /// The checkpoint store (for invariant checks in tests).
-    pub fn store(&self) -> &StateStore {
+    /// The checkpoint store (for invariant checks in tests and per-shard
+    /// COMMIT-wave pricing).
+    pub fn store(&self) -> &ShardedStateStore {
         &self.model.store
+    }
+
+    /// In-flight (registered, unacked) root count per source, in source
+    /// declaration order — what `max.spout.pending` gates each spout on.
+    pub fn spout_in_flight(&self) -> &[usize] {
+        &self.model.in_flight
     }
 
     /// Processed-event count of `instance`'s user state.
@@ -1290,6 +1328,91 @@ mod tests {
         assert_eq!(e.worker_status(victim), WorkerStatus::Running);
         // Uninitialized after crash: user events buffer rather than process.
         assert!(!e.is_initialized(victim));
+    }
+
+    #[test]
+    fn slow_branch_does_not_throttle_sibling_spout() {
+        // Two independent branches: s_fast -> fast -> sink_f at the default
+        // 100 ms task latency, and s_slow -> slow -> sink_s where `slow`
+        // needs 5 s per event. The slow branch quickly accumulates
+        // max.spout.pending unacked roots and throttles; with the per-spout
+        // gate the fast branch must keep emitting at full rate. (Under the
+        // old global-pending gate, the slow branch's 60 in-flight roots
+        // starved the fast spout too, collapsing roots_acked to a trickle.)
+        let mut b = flowmig_topology::DataflowBuilder::new("two-branch");
+        let s_fast = b.add(flowmig_topology::TaskSpec::source("s_fast", 8.0));
+        let fast = b.add(flowmig_topology::TaskSpec::operator("fast"));
+        let sink_f = b.add(flowmig_topology::TaskSpec::sink("sink_f"));
+        let s_slow = b.add(flowmig_topology::TaskSpec::source("s_slow", 8.0));
+        let slow = b.add(
+            flowmig_topology::TaskSpec::operator("slow").with_latency(SimDuration::from_secs(5)),
+        );
+        let sink_s = b.add(flowmig_topology::TaskSpec::sink("sink_s"));
+        b.chain(&[s_fast, fast, sink_f]).chain(&[s_slow, slow, sink_s]);
+        let dag = b.finish().unwrap();
+
+        let mut e = engine_for(dag, ProtocolConfig::dsm(), 11);
+        e.run_until(SimTime::from_secs(60));
+
+        // The fast branch alone contributes ~8 ev/s × 60 s of completed
+        // trees; the slow branch completes at most 12 (one per 5 s).
+        let acked = e.stats().roots_acked;
+        assert!(acked > 350, "fast branch must not be throttled: acked={acked}");
+        // The slow spout did hit its own max.spout.pending gate.
+        assert!(e.stats().spout_throttled > 0, "slow spout throttles on its own pending");
+        // Per-spout ledgers stay consistent with the acker's global count.
+        let total: usize = e.spout_in_flight().iter().sum();
+        assert_eq!(total, e.model.acker.pending(), "in-flight ledgers track the acker");
+        // One spout is saturated, the other nearly idle.
+        let counts = e.spout_in_flight();
+        let cfg = EngineConfig::default();
+        assert!(counts.iter().any(|&c| c >= cfg.max_spout_pending - 5));
+        assert!(counts.iter().any(|&c| c < 10));
+    }
+
+    #[test]
+    fn failed_roots_replay_in_fifo_order() {
+        // Crash an operator so a cohort of trees times out, then check the
+        // spout re-emits the failed roots oldest-first (registration order),
+        // not in root-id order.
+        let dag = library::linear();
+        let instances = InstanceSet::plan(&dag);
+        let victim = instances.of_task(dag.task_by_name("t3").unwrap())[0];
+        let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).unwrap();
+        let mut e = Engine::new(
+            dag,
+            instances,
+            &plan,
+            EngineConfig::default(),
+            ProtocolConfig::dsm(),
+            Box::new(NoopCoordinator),
+            13,
+        );
+        e.schedule_outage(victim, SimTime::from_secs(10), SimDuration::from_secs(5));
+        e.run_until(SimTime::from_secs(70));
+        assert!(e.stats().replayed_roots > 1, "outage must force replays");
+
+        // Only each root's *first* replay is pinned to the original emission
+        // order: a root that times out again re-enters the retry queue by
+        // its re-registration time, which is FIFO too but not comparable to
+        // first-emission instants.
+        let mut first_emit = HashMap::new();
+        let mut replayed = HashSet::new();
+        let mut replay_order = Vec::new();
+        for ev in e.trace().iter() {
+            if let TraceEvent::SourceEmit { root, at, replay } = *ev {
+                if replay {
+                    if replayed.insert(root) {
+                        replay_order.push(root);
+                    }
+                } else {
+                    first_emit.entry(root).or_insert(at);
+                }
+            }
+        }
+        let mut expected = replay_order.clone();
+        expected.sort_by_key(|r| (first_emit[r], *r));
+        assert_eq!(replay_order, expected, "replays must be served FIFO by original emission");
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! * **shuffle routing** between data-parallel instances, with per-VM
 //!   network latencies;
 //! * the **acker service** ([`Acker`]): XOR ledgers over causal tuple
-//!   trees, 30 s timeouts, source-side replay with `max.spout.pending`
-//!   throttling;
+//!   trees, a bucketed expiry wheel (O(expired) timeout ticks), FIFO
+//!   replay ordering, and per-spout `max.spout.pending` throttling;
 //! * **checkpoint waves** (PREPARE/COMMIT/ROLLBACK/INIT) with sequential
 //!   (barrier-aligned, edge-wired) or broadcast (hub-and-spoke) routing;
 //! * **capture semantics** for CCR (pending-event lists persisted and
 //!   resumed);
-//! * a latency-modelled **state store** ([`StateStore`], the paper's Redis);
+//! * a latency-modelled, sharded **state store** ([`ShardedStateStore`]
+//!   behind the [`StateStore`] facade — the paper's Redis, partitioned for
+//!   per-shard COMMIT-wave accounting);
 //! * **rebalance** (kill + respawn with worker start-up delays) and failure
 //!   injection.
 //!
@@ -47,4 +49,4 @@ pub use event::{ControlEvent, ControlSender, DataEvent, QueueItem};
 pub use instance::WorkerStatus;
 pub use protocol::{resend, MigrationCoordinator, NoopCoordinator, ProtocolConfig, WaveRouting};
 pub use stats::EngineStats;
-pub use store::{StateBlob, StateStore};
+pub use store::{ShardStats, ShardedStateStore, StateBlob, StateStore};

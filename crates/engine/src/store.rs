@@ -4,6 +4,13 @@
 //! captured pending-event list — keyed by instance. Operation latency is
 //! charged by the engine using [`StoreLatencyModel`](crate::StoreLatencyModel);
 //! this type only models durability semantics and byte-counting.
+//!
+//! The backing implementation is sharded ([`ShardedStateStore`]): instances
+//! hash to shards by index, and every shard keeps its own put/get/byte
+//! counters. Checkpoint COMMIT waves can therefore be priced per shard —
+//! the precondition for parallelizing persist waves across store replicas.
+//! [`StateStore`] remains the single-logical-store facade over one sharded
+//! backend.
 
 use crate::event::DataEvent;
 use flowmig_topology::InstanceId;
@@ -30,9 +37,191 @@ impl StateBlob {
     pub fn pending_len(&self) -> usize {
         self.pending.len()
     }
+
+    /// Serialized size estimate in bytes: the user-state counter plus the
+    /// captured pending events (what a Redis `SET` of this blob would carry).
+    pub fn byte_size(&self) -> u64 {
+        let event = std::mem::size_of::<DataEvent>() as u64;
+        std::mem::size_of::<u64>() as u64 + event * self.pending.len() as u64
+    }
 }
 
-/// The key-value checkpoint store.
+/// One shard of the checkpoint store: a key-value map with its own
+/// operation and traffic counters.
+#[derive(Debug, Clone, Default)]
+struct StoreShard {
+    blobs: HashMap<InstanceId, StateBlob>,
+    puts: u64,
+    gets: u64,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+/// Per-shard counter snapshot (see [`ShardedStateStore::shard_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Persist operations served by this shard.
+    pub puts: u64,
+    /// Fetch operations served by this shard.
+    pub gets: u64,
+    /// Bytes written by persists to this shard.
+    pub bytes_written: u64,
+    /// Bytes read by fetches from this shard (misses read nothing).
+    pub bytes_read: u64,
+    /// Blobs currently committed on this shard.
+    pub blobs: usize,
+}
+
+/// A key-value checkpoint store partitioned over `N` shards by instance
+/// index.
+///
+/// Same durability semantics as [`StateStore`] (which delegates here), plus
+/// per-shard put/get/byte counters so a checkpoint COMMIT wave's load can
+/// be priced shard by shard.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_engine::{ShardedStateStore, StateBlob};
+/// use flowmig_topology::InstanceId;
+///
+/// let mut store = ShardedStateStore::with_shards(4);
+/// for i in 0..8 {
+///     store.put(InstanceId::from_index(i), StateBlob::of_count(i as u64));
+/// }
+/// assert_eq!(store.len(), 8);
+/// assert_eq!(store.puts(), 8);
+/// // Instance index modulo shard count picks the shard:
+/// assert_eq!(store.shard_of(InstanceId::from_index(6)), 2);
+/// assert_eq!(store.shard_stats(2).puts, 2); // instances 2 and 6
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedStateStore {
+    shards: Vec<StoreShard>,
+}
+
+impl Default for ShardedStateStore {
+    fn default() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+}
+
+impl ShardedStateStore {
+    /// Default shard count: enough parallelism headroom for the paper's
+    /// 21-instance deployments without fragmenting small stores.
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// Creates an empty store with [`Self::DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty store with `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "a sharded store needs at least one shard");
+        ShardedStateStore { shards: vec![StoreShard::default(); shards] }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard serving `instance` (instance index modulo shard count).
+    pub fn shard_of(&self, instance: InstanceId) -> usize {
+        instance.index() % self.shards.len()
+    }
+
+    /// Counter snapshot for shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_stats(&self, shard: usize) -> ShardStats {
+        let s = &self.shards[shard];
+        ShardStats {
+            puts: s.puts,
+            gets: s.gets,
+            bytes_written: s.bytes_written,
+            bytes_read: s.bytes_read,
+            blobs: s.blobs.len(),
+        }
+    }
+
+    /// Persists (overwrites) the blob for `instance`.
+    pub fn put(&mut self, instance: InstanceId, blob: StateBlob) {
+        let shard = self.shard_of(instance);
+        let s = &mut self.shards[shard];
+        s.puts += 1;
+        s.bytes_written += blob.byte_size();
+        s.blobs.insert(instance, blob);
+    }
+
+    /// Fetches the last committed blob for `instance`, if any.
+    ///
+    /// Returns a clone: the store keeps its copy (restores may repeat, e.g.
+    /// duplicate INITs).
+    pub fn get(&mut self, instance: InstanceId) -> Option<StateBlob> {
+        let shard = self.shard_of(instance);
+        let s = &mut self.shards[shard];
+        s.gets += 1;
+        let blob = s.blobs.get(&instance).cloned();
+        if let Some(b) = &blob {
+            s.bytes_read += b.byte_size();
+        }
+        blob
+    }
+
+    /// Whether a blob exists for `instance` (no latency charged — used by
+    /// tests and invariant checks, not the data path).
+    pub fn contains(&self, instance: InstanceId) -> bool {
+        self.shards[self.shard_of(instance)].blobs.contains_key(&instance)
+    }
+
+    /// Size of the stored pending list for `instance` without counting as a
+    /// fetch — the engine uses this to price the restore round-trip before
+    /// performing it.
+    pub fn peek_pending_len(&self, instance: InstanceId) -> Option<usize> {
+        self.shards[self.shard_of(instance)].blobs.get(&instance).map(|b| b.pending.len())
+    }
+
+    /// Number of committed blobs across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.blobs.len()).sum()
+    }
+
+    /// Returns true if nothing has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.blobs.is_empty())
+    }
+
+    /// Total persist operations performed, across all shards.
+    pub fn puts(&self) -> u64 {
+        self.shards.iter().map(|s| s.puts).sum()
+    }
+
+    /// Total fetch operations performed, across all shards.
+    pub fn gets(&self) -> u64 {
+        self.shards.iter().map(|s| s.gets).sum()
+    }
+
+    /// Total bytes written across all shards.
+    pub fn bytes_written(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes_written).sum()
+    }
+
+    /// Total bytes read across all shards.
+    pub fn bytes_read(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes_read).sum()
+    }
+}
+
+/// The key-value checkpoint store: the single-logical-store facade over a
+/// [`ShardedStateStore`].
 ///
 /// # Examples
 ///
@@ -48,9 +237,7 @@ impl StateBlob {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct StateStore {
-    blobs: HashMap<InstanceId, StateBlob>,
-    puts: u64,
-    gets: u64,
+    inner: ShardedStateStore,
 }
 
 impl StateStore {
@@ -61,8 +248,7 @@ impl StateStore {
 
     /// Persists (overwrites) the blob for `instance`.
     pub fn put(&mut self, instance: InstanceId, blob: StateBlob) {
-        self.puts += 1;
-        self.blobs.insert(instance, blob);
+        self.inner.put(instance, blob);
     }
 
     /// Fetches the last committed blob for `instance`, if any.
@@ -70,41 +256,40 @@ impl StateStore {
     /// Returns a clone: the store keeps its copy (restores may repeat, e.g.
     /// duplicate INITs).
     pub fn get(&mut self, instance: InstanceId) -> Option<StateBlob> {
-        self.gets += 1;
-        self.blobs.get(&instance).cloned()
+        self.inner.get(instance)
     }
 
     /// Whether a blob exists for `instance` (no latency charged — used by
     /// tests and invariant checks, not the data path).
     pub fn contains(&self, instance: InstanceId) -> bool {
-        self.blobs.contains_key(&instance)
+        self.inner.contains(instance)
     }
 
     /// Size of the stored pending list for `instance` without counting as a
     /// fetch — the engine uses this to price the restore round-trip before
     /// performing it.
     pub fn peek_pending_len(&self, instance: InstanceId) -> Option<usize> {
-        self.blobs.get(&instance).map(|b| b.pending.len())
+        self.inner.peek_pending_len(instance)
     }
 
     /// Number of committed blobs.
     pub fn len(&self) -> usize {
-        self.blobs.len()
+        self.inner.len()
     }
 
     /// Returns true if nothing has been committed.
     pub fn is_empty(&self) -> bool {
-        self.blobs.is_empty()
+        self.inner.is_empty()
     }
 
     /// Total persist operations performed.
     pub fn puts(&self) -> u64 {
-        self.puts
+        self.inner.puts()
     }
 
     /// Total fetch operations performed.
     pub fn gets(&self) -> u64 {
-        self.gets
+        self.inner.gets()
     }
 }
 
@@ -160,5 +345,69 @@ mod tests {
         assert_eq!(store.get(i).unwrap().processed, 5);
         assert_eq!(store.get(i).unwrap().processed, 5);
         assert_eq!(store.gets(), 2);
+    }
+
+    #[test]
+    fn sharding_routes_by_instance_index() {
+        let mut store = ShardedStateStore::with_shards(4);
+        for idx in 0..12 {
+            store.put(InstanceId::from_index(idx), StateBlob::of_count(idx as u64));
+        }
+        assert_eq!(store.len(), 12);
+        for shard in 0..4 {
+            assert_eq!(store.shard_stats(shard).puts, 3, "shard {shard}");
+            assert_eq!(store.shard_stats(shard).blobs, 3, "shard {shard}");
+        }
+        // Reads hit only the owning shard.
+        assert!(store.get(InstanceId::from_index(5)).is_some());
+        assert_eq!(store.shard_stats(1).gets, 1);
+        assert_eq!(store.shard_stats(0).gets, 0);
+    }
+
+    #[test]
+    fn byte_counters_track_blob_sizes() {
+        let mut store = ShardedStateStore::with_shards(2);
+        let i = InstanceId::from_index(1);
+        let blob = StateBlob {
+            processed: 3,
+            pending: vec![
+                DataEvent {
+                    id: 1,
+                    root: RootId(1),
+                    generated_at: SimTime::ZERO,
+                    replayed: false
+                };
+                5
+            ],
+        };
+        let expected = blob.byte_size();
+        assert!(expected > 8, "pending events contribute bytes");
+        store.put(i, blob);
+        assert_eq!(store.shard_stats(1).bytes_written, expected);
+        assert_eq!(store.bytes_written(), expected);
+        assert_eq!(store.bytes_read(), 0);
+        let _ = store.get(i);
+        assert_eq!(store.bytes_read(), expected);
+        // A miss reads nothing.
+        let _ = store.get(InstanceId::from_index(3));
+        assert_eq!(store.bytes_read(), expected);
+    }
+
+    #[test]
+    fn single_shard_store_degenerates_to_flat_map() {
+        let mut store = ShardedStateStore::with_shards(1);
+        for idx in 0..5 {
+            store.put(InstanceId::from_index(idx), StateBlob::of_count(idx as u64));
+        }
+        assert_eq!(store.shard_count(), 1);
+        assert_eq!(store.shard_stats(0).puts, 5);
+        assert_eq!(store.puts(), 5);
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = ShardedStateStore::with_shards(0);
     }
 }

@@ -28,6 +28,18 @@ impl<'a, E> Scheduler<'a, E> {
         self.queue.schedule(self.now + delay, event);
     }
 
+    /// Schedules every event in `events` to fire `delay` from now, in
+    /// iteration order (one [`EventQueue::schedule_batch`] insertion —
+    /// used for same-delay fan-outs like broadcast control waves).
+    ///
+    /// [`EventQueue::schedule_batch`]: crate::EventQueue::schedule_batch
+    pub fn after_batch<I>(&mut self, delay: SimDuration, events: I)
+    where
+        I: IntoIterator<Item = E>,
+    {
+        self.queue.schedule_batch(self.now + delay, events);
+    }
+
     /// Schedules `event` at an absolute instant.
     ///
     /// # Panics
@@ -145,27 +157,43 @@ impl<E> Simulation<E> {
 
     /// Runs the model until `horizon` (inclusive), the queue drains, or the
     /// event budget is exhausted. Time never advances beyond `horizon`.
+    ///
+    /// Dispatch is batched: all events due at one instant are drained from
+    /// the future-event list in a single [`EventQueue::pop_due`] call and
+    /// handled back to back, so the heap is not re-touched between
+    /// same-instant events. Events a handler schedules *at* the current
+    /// instant join the next batch of the same instant (they carry higher
+    /// sequence numbers), which preserves the exact event order of
+    /// one-at-a-time dispatch.
     pub fn run_until<P: Process<E>>(&mut self, model: &mut P, horizon: SimTime) -> RunOutcome {
         let mut spent: u64 = 0;
+        // One buffer reused across instants: single-event instants (the
+        // common case under jittered timings) must not pay a heap
+        // allocation per event.
+        let mut batch: Vec<(SimTime, E)> = Vec::new();
         loop {
-            match self.queue.peek_time() {
+            let t = match self.queue.peek_time() {
                 None => return RunOutcome::Quiescent,
                 Some(t) if t > horizon => {
                     self.now = horizon;
                     return RunOutcome::HorizonReached;
                 }
-                Some(_) => {}
-            }
+                Some(t) => t,
+            };
             if spent >= self.budget {
                 return RunOutcome::BudgetExhausted;
             }
-            let (t, event) = self.queue.pop().expect("peeked entry vanished");
             debug_assert!(t >= self.now, "event queue produced a past event");
             self.now = t;
-            let mut sched = Scheduler { now: self.now, queue: &mut self.queue };
-            model.handle(event, &mut sched);
-            self.processed += 1;
-            spent += 1;
+            let remaining = usize::try_from(self.budget - spent).unwrap_or(usize::MAX);
+            self.queue.pop_due_capped_into(t, remaining, &mut batch);
+            debug_assert!(!batch.is_empty(), "peeked entry vanished");
+            for (_, event) in batch.drain(..) {
+                let mut sched = Scheduler { now: self.now, queue: &mut self.queue };
+                model.handle(event, &mut sched);
+                self.processed += 1;
+                spent += 1;
+            }
         }
     }
 }
@@ -234,6 +262,32 @@ mod tests {
         sim.set_budget(1_000);
         sim.schedule(SimTime::ZERO, ());
         assert_eq!(sim.run_until(&mut Livelock, SimTime::MAX), RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn now_events_scheduled_mid_batch_run_after_the_batch() {
+        // Handling the first event of an instant schedules another event at
+        // the same instant; it must run after the rest of the batch (FIFO by
+        // sequence number), exactly as one-at-a-time dispatch ordered it.
+        struct Chainer {
+            seen: Vec<u32>,
+        }
+        impl Process<u32> for Chainer {
+            fn handle(&mut self, v: u32, sched: &mut Scheduler<'_, u32>) {
+                self.seen.push(v);
+                if v == 1 {
+                    sched.now_event(99);
+                }
+            }
+        }
+        let mut sim = Simulation::new();
+        let t = SimTime::from_millis(2);
+        sim.schedule(t, 1);
+        sim.schedule(t, 2);
+        sim.schedule(t, 3);
+        let mut model = Chainer { seen: Vec::new() };
+        sim.run_until(&mut model, SimTime::from_secs(1));
+        assert_eq!(model.seen, vec![1, 2, 3, 99]);
     }
 
     #[test]

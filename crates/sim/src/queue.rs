@@ -83,9 +83,59 @@ impl<E> EventQueue<E> {
         self.heap.push(Scheduled { due, seq, event });
     }
 
+    /// Schedules a batch of events all due at `due`, preserving the
+    /// iterator's order as the FIFO tie-break — equivalent to calling
+    /// [`schedule`](Self::schedule) once per event, but reserving heap
+    /// capacity up front.
+    pub fn schedule_batch<I>(&mut self, due: SimTime, events: I)
+    where
+        I: IntoIterator<Item = E>,
+    {
+        let events = events.into_iter();
+        let (lower, _) = events.size_hint();
+        self.heap.reserve(lower);
+        for event in events {
+            self.schedule(due, event);
+        }
+    }
+
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|s| (s.due, s.event))
+    }
+
+    /// Drains and returns every event due at or before `now`, in the exact
+    /// order repeated [`pop`](Self::pop) calls would yield them (time, then
+    /// FIFO). The common case — all events of one simulation instant — comes
+    /// back as a single batch the dispatch loop can walk without re-touching
+    /// the heap between events.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<(SimTime, E)> {
+        self.pop_due_capped(now, usize::MAX)
+    }
+
+    /// [`pop_due`](Self::pop_due) bounded to at most `max` events; later
+    /// due events stay queued untouched (used to honor dispatch budgets).
+    pub fn pop_due_capped(&mut self, now: SimTime, max: usize) -> Vec<(SimTime, E)> {
+        let mut batch = Vec::new();
+        self.pop_due_capped_into(now, max, &mut batch);
+        batch
+    }
+
+    /// Appends up to `max` events due at or before `now` to `into`, in pop
+    /// order. Lets a dispatch loop reuse one buffer across instants instead
+    /// of allocating a fresh `Vec` per batch.
+    pub fn pop_due_capped_into(&mut self, now: SimTime, max: usize, into: &mut Vec<(SimTime, E)>) {
+        let mut taken = 0;
+        while taken < max {
+            match self.heap.peek() {
+                Some(s) if s.due <= now => {
+                    let s = self.heap.pop().expect("peeked entry present");
+                    into.push((s.due, s.event));
+                    taken += 1;
+                }
+                _ => break,
+            }
+        }
     }
 
     /// Returns the timestamp of the earliest pending event without removing it.
@@ -155,6 +205,42 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn schedule_batch_preserves_fifo_against_singles() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(3);
+        q.schedule(t, 0);
+        q.schedule_batch(t, [1, 2, 3]);
+        q.schedule(t, 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_due_drains_one_instant_in_pop_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        q.schedule(t, "a");
+        q.schedule(SimTime::from_millis(9), "late");
+        q.schedule(t, "b");
+        let batch = q.pop_due(t);
+        assert_eq!(batch, vec![(t, "a"), (t, "b")]);
+        assert_eq!(q.len(), 1, "later events stay queued");
+        assert!(q.pop_due(SimTime::from_millis(8)).is_empty());
+        assert_eq!(q.pop_due(SimTime::from_millis(9)).len(), 1);
+    }
+
+    #[test]
+    fn pop_due_capped_leaves_excess_queued() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        q.schedule_batch(t, 0..10);
+        let first = q.pop_due_capped(t, 4);
+        assert_eq!(first.iter().map(|&(_, e)| e).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let rest = q.pop_due(t);
+        assert_eq!(rest.iter().map(|&(_, e)| e).collect::<Vec<_>>(), (4..10).collect::<Vec<_>>());
     }
 
     #[test]

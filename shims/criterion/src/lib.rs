@@ -8,12 +8,69 @@
 //! iteration. No statistical analysis, HTML reports, or command-line
 //! parsing; when invoked by `cargo test` (any argument containing
 //! `--test`), benches are skipped so test runs stay fast.
+//!
+//! Two environment variables support CI smoke runs:
+//!
+//! * `CRITERION_SAMPLE_SIZE=N` overrides every sample-size setting
+//!   (including explicit [`Criterion::sample_size`] calls) so a reduced
+//!   pass stays cheap;
+//! * `CRITERION_JSON=path` additionally writes all results of the process
+//!   as a JSON array of `{name, samples, min_ns, mean_ns, max_ns}` objects
+//!   (rewritten after every benchmark, so a partial file is still valid).
 
 #![forbid(unsafe_code)]
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One benchmark's summary, retained for `CRITERION_JSON` export.
+#[derive(Debug, Clone)]
+struct JsonEntry {
+    name: String,
+    samples: usize,
+    min_ns: u128,
+    mean_ns: u128,
+    max_ns: u128,
+}
+
+fn json_results() -> &'static Mutex<Vec<JsonEntry>> {
+    static RESULTS: OnceLock<Mutex<Vec<JsonEntry>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Appends `entry` and rewrites the `CRITERION_JSON` file (if requested)
+/// with every result so far, as a complete JSON array.
+fn export_json(entry: JsonEntry) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let mut results = json_results().lock().expect("json results lock");
+    results.push(entry);
+    let rows: Vec<String> = results
+        .iter()
+        .map(|e| {
+            format!(
+                "  {{\"name\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}}}",
+                e.name.replace('\\', "\\\\").replace('"', "\\\""),
+                e.samples,
+                e.min_ns,
+                e.mean_ns,
+                e.max_ns,
+            )
+        })
+        .collect();
+    let body = format!("[\n{}\n]\n", rows.join(",\n"));
+    if let Err(err) = std::fs::write(&path, body) {
+        eprintln!("criterion shim: cannot write {path}: {err}");
+    }
+}
+
+/// The `CRITERION_SAMPLE_SIZE` override, if set and parseable.
+fn sample_size_override() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE").ok()?.parse().ok().filter(|&n| n > 0)
+}
 
 /// How `iter_batched` amortizes setup cost. The shim runs one routine
 /// call per setup regardless; the variants exist for API compatibility.
@@ -39,15 +96,16 @@ impl Default for Criterion {
         // `cargo test` runs bench targets with libtest flags; a real
         // Criterion detects this and becomes a no-op. Do the same.
         let skip = std::env::args().any(|a| a.contains("--test") || a == "--list");
-        Criterion { sample_size: 20, skip }
+        Criterion { sample_size: sample_size_override().unwrap_or(20), skip }
     }
 }
 
 impl Criterion {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark
+    /// (`CRITERION_SAMPLE_SIZE` in the environment wins over this call).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
-        self.sample_size = n;
+        self.sample_size = sample_size_override().unwrap_or(n);
         self
     }
 
@@ -81,10 +139,11 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples for benchmarks in this group.
+    /// Sets the number of timed samples for benchmarks in this group
+    /// (`CRITERION_SAMPLE_SIZE` in the environment wins over this call).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample size must be positive");
-        self.sample_size = n;
+        self.sample_size = sample_size_override().unwrap_or(n);
         self
     }
 
@@ -154,6 +213,13 @@ impl Bencher {
             fmt_duration(mean),
             fmt_duration(*max),
         );
+        export_json(JsonEntry {
+            name: name.to_owned(),
+            samples: self.samples.len(),
+            min_ns: min.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            max_ns: max.as_nanos(),
+        });
     }
 }
 

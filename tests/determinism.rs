@@ -1,0 +1,61 @@
+//! Seed-determinism guard for the engine hot paths.
+//!
+//! Same seed ⇒ bit-identical `TraceLog` and `EngineStats` for every
+//! strategy (DSM/DCR/CCR) on every library dataflow, run twice. This is
+//! the behavior-preservation proof for the acker expiry wheel, the sharded
+//! state store, and the batched event-queue dispatch: any nondeterminism
+//! or ordering drift those refactors introduced would diverge the traces.
+
+use flowmig::prelude::*;
+
+fn dags() -> Vec<Dataflow> {
+    vec![
+        library::linear(),
+        library::diamond(),
+        library::star(),
+        library::grid(),
+        library::traffic(),
+    ]
+}
+
+fn strategies() -> Vec<Box<dyn MigrationStrategy>> {
+    vec![Box::new(Dsm::new()), Box::new(Dcr::new()), Box::new(Ccr::new())]
+}
+
+/// A shortened paper protocol (migration at 1 min, 5-minute horizon) keeps
+/// the 5 × 3 × 2 run matrix fast while still crossing every phase:
+/// steady state, checkpoint waves, rebalance, restore, and re-stabilized
+/// flow.
+fn controller(seed: u64) -> MigrationController {
+    MigrationController::new()
+        .with_request_at(SimTime::from_secs(60))
+        .with_horizon(SimTime::from_secs(300))
+        .with_seed(seed)
+}
+
+#[test]
+fn same_seed_gives_identical_trace_and_stats_for_all_strategies_and_dags() {
+    for dag in dags() {
+        for strategy in strategies() {
+            let first = controller(7)
+                .run(&dag, strategy.as_ref(), ScaleDirection::In)
+                .expect("paper scenario placeable");
+            let second = controller(7)
+                .run(&dag, strategy.as_ref(), ScaleDirection::In)
+                .expect("paper scenario placeable");
+            let label = format!("{} on {}", first.strategy, dag.name());
+            assert_eq!(first.stats, second.stats, "stats diverged: {label}");
+            assert_eq!(first.trace, second.trace, "trace diverged: {label}");
+            assert!(!first.trace.is_empty(), "empty trace would vacuously pass: {label}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_actually_diverge() {
+    // Sanity check that the equality above is meaningful: jitter draws
+    // depend on the seed, so two seeds must not produce the same trace.
+    let a = controller(7).run(&library::linear(), &Dcr::new(), ScaleDirection::In).unwrap();
+    let b = controller(8).run(&library::linear(), &Dcr::new(), ScaleDirection::In).unwrap();
+    assert_ne!(a.trace, b.trace, "seeds must steer the run");
+}
