@@ -1,0 +1,248 @@
+//! Migration latency at scale: sequential vs per-shard **parallel**
+//! checkpoint waves on width-scaled Grid dataflows.
+//!
+//! The paper's rapid-elasticity claim rests on shrinking the
+//! checkpoint/restore critical path. The classic hop-by-hop COMMIT sweep
+//! (and DCR's sequential INIT) pays O(instances) control handling along
+//! the DAG, while `WaveRouting::Parallel` fans the wave out per store
+//! shard with a bounded window, so wave time is the max over shards
+//! (≈ instances / (shards × fan_out) store round-trips).
+//!
+//! Grid widths 3/6/12 give 48/96/192 wave participants (16 × width:
+//! 15 operator tasks + the sink). Worker-ready delays are zeroed so the
+//! measured restore span is the INIT wave itself, not the simulated JVM
+//! spawn (which is identical for both routings and would drown the
+//! comparison in a fixed 5–35 s draw).
+//!
+//! Environment:
+//!
+//! * `BENCH_MIGRATION_JSON=path` writes a machine-readable summary (CI
+//!   uploads it as `BENCH_migration.json`);
+//! * exits non-zero on either perf-regression tripwire: parallel COMMIT
+//!   not faster than sequential at the largest size (192 instances), or
+//!   commit+restore speedup below 3x at 96 instances / 8 shards.
+
+use flowmig_bench::{banner, BENCH_SEEDS};
+use flowmig_cluster::ScaleDirection;
+use flowmig_core::{Ccr, Dcr, MigrationController, MigrationStrategy};
+use flowmig_engine::EngineConfig;
+use flowmig_sim::{SimDuration, SimTime};
+use flowmig_topology::library;
+use flowmig_workloads::TextTable;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Grid widths under test: 16 × width wave participants.
+const WIDTHS: [usize; 3] = [3, 6, 12];
+/// Store shard counts under test.
+const SHARDS: [usize; 3] = [1, 4, 8];
+/// Per-shard window for the parallel variants.
+const FAN_OUT: usize = 4;
+
+/// One (dag, shards, strategy, routing) cell, averaged over the seeds.
+struct Cell {
+    dag: String,
+    participants: usize,
+    shards: usize,
+    strategy: &'static str,
+    waves: &'static str,
+    commit_ms: f64,
+    restore_ms: f64,
+    wall_ms: f64,
+}
+
+impl Cell {
+    fn total_ms(&self) -> f64 {
+        self.commit_ms + self.restore_ms
+    }
+}
+
+fn controller(shards: usize, seed: u64) -> MigrationController {
+    // Isolate the wave critical path: zero worker-ready delay (identical
+    // for both routings), everything else at paper defaults.
+    let config = EngineConfig {
+        worker_ready_min: SimDuration::ZERO,
+        worker_ready_max: SimDuration::ZERO,
+        ..EngineConfig::default()
+    };
+    MigrationController::new()
+        .with_engine_config(config)
+        .with_store_shards(shards)
+        .with_request_at(SimTime::from_secs(30))
+        .with_horizon(SimTime::from_secs(90))
+        .with_seed(seed)
+}
+
+fn measure(
+    width: usize,
+    shards: usize,
+    strategy: &dyn MigrationStrategy,
+    waves: &'static str,
+) -> Cell {
+    let dag = library::grid_scaled(width);
+    let (mut commit, mut restore, mut wall) = (0.0, 0.0, 0.0);
+    for &seed in &BENCH_SEEDS {
+        let started = Instant::now();
+        let out = controller(shards, seed)
+            .run(&dag, strategy, ScaleDirection::In)
+            .expect("scaled grid placeable");
+        wall += started.elapsed().as_secs_f64() * 1e3;
+        assert!(out.completed, "migration completes ({} {waves} w{width} s{shards})", out.strategy);
+        assert_eq!(out.stats.events_dropped, 0, "reliable migration drops nothing");
+        commit += out.metrics.commit_wave.expect("commit span").as_millis_f64();
+        restore += out.metrics.restore_wave.expect("restore span").as_millis_f64();
+    }
+    let n = BENCH_SEEDS.len() as f64;
+    Cell {
+        dag: dag.name().to_owned(),
+        participants: 16 * width,
+        shards,
+        strategy: strategy.name(),
+        waves,
+        commit_ms: commit / n,
+        restore_ms: restore / n,
+        wall_ms: wall / n,
+    }
+}
+
+fn export_json(cells: &[Cell]) {
+    let Ok(path) = std::env::var("BENCH_MIGRATION_JSON") else {
+        return;
+    };
+    let mut rows = Vec::new();
+    for c in cells {
+        let mut row = String::new();
+        let _ = write!(
+            row,
+            "  {{\"dag\": \"{}\", \"participants\": {}, \"shards\": {}, \"strategy\": \"{}\", \
+             \"waves\": \"{}\", \"commit_ms\": {:.3}, \"restore_ms\": {:.3}, \
+             \"total_ms\": {:.3}, \"wall_ms\": {:.3}}}",
+            c.dag,
+            c.participants,
+            c.shards,
+            c.strategy,
+            c.waves,
+            c.commit_ms,
+            c.restore_ms,
+            c.total_ms(),
+            c.wall_ms,
+        );
+        rows.push(row);
+    }
+    let body = format!("[\n{}\n]\n", rows.join(",\n"));
+    if let Err(err) = std::fs::write(&path, body) {
+        eprintln!("migration_latency: cannot write {path}: {err}");
+    }
+}
+
+fn find<'a>(
+    cells: &'a [Cell],
+    width: usize,
+    shards: usize,
+    strategy: &str,
+    waves: &str,
+) -> &'a Cell {
+    cells
+        .iter()
+        .find(|c| {
+            c.participants == 16 * width
+                && c.shards == shards
+                && c.strategy == strategy
+                && c.waves == waves
+        })
+        .expect("cell measured")
+}
+
+fn main() {
+    banner(
+        "migration_latency",
+        "simulated COMMIT+INIT wave time, sequential vs per-shard parallel",
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for &width in &WIDTHS {
+        for &shards in &SHARDS {
+            cells.push(measure(width, shards, &Dcr::new(), "sequential"));
+            cells.push(measure(
+                width,
+                shards,
+                &Dcr::new().with_parallel_waves(FAN_OUT),
+                "parallel",
+            ));
+            cells.push(measure(width, shards, &Ccr::new(), "sequential"));
+            cells.push(measure(
+                width,
+                shards,
+                &Ccr::new().with_parallel_waves(FAN_OUT),
+                "parallel",
+            ));
+        }
+    }
+
+    let mut table = TextTable::new(&[
+        "DAG",
+        "instances",
+        "shards",
+        "strategy",
+        "waves",
+        "commit (ms)",
+        "restore (ms)",
+        "commit+restore (ms)",
+        "host wall (ms)",
+    ]);
+    for c in &cells {
+        table.row_owned(vec![
+            c.dag.clone(),
+            c.participants.to_string(),
+            c.shards.to_string(),
+            c.strategy.to_owned(),
+            c.waves.to_owned(),
+            format!("{:.2}", c.commit_ms),
+            format!("{:.2}", c.restore_ms),
+            format!("{:.2}", c.total_ms()),
+            format!("{:.1}", c.wall_ms),
+        ]);
+    }
+    println!("{table}");
+    export_json(&cells);
+
+    // Headline number: restore+commit speedup at 96 instances / 8 shards.
+    for strategy in ["DCR", "CCR"] {
+        let seq = find(&cells, 6, 8, strategy, "sequential");
+        let par = find(&cells, 6, 8, strategy, "parallel");
+        let speedup = seq.total_ms() / par.total_ms();
+        println!(
+            "{strategy} @ 96 instances, 8 shards: commit+restore {:.2} ms -> {:.2} ms ({speedup:.1}x)",
+            seq.total_ms(),
+            par.total_ms(),
+        );
+        assert!(
+            speedup >= 3.0,
+            "{strategy}: parallel waves must be >= 3x faster at 96 instances / 8 shards, got {speedup:.2}x"
+        );
+    }
+
+    // CI tripwire: at the largest size, parallel COMMIT must beat the
+    // sequential sweep, or the step fails.
+    let widest = *WIDTHS.iter().max().expect("widths non-empty");
+    let most_shards = *SHARDS.iter().max().expect("shards non-empty");
+    for strategy in ["DCR", "CCR"] {
+        let seq = find(&cells, widest, most_shards, strategy, "sequential");
+        let par = find(&cells, widest, most_shards, strategy, "parallel");
+        if par.commit_ms >= seq.commit_ms {
+            eprintln!(
+                "PERF REGRESSION: {strategy} parallel COMMIT ({:.2} ms) is not faster than \
+                 sequential ({:.2} ms) at {} instances / {} shards",
+                par.commit_ms,
+                seq.commit_ms,
+                16 * widest,
+                most_shards,
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "shape checks passed: parallel COMMIT beats sequential at {} instances, \
+         >=3x total at 96/8",
+        16 * widest
+    );
+}

@@ -103,7 +103,13 @@ impl ScalePlan {
         };
 
         let mut pool = VmPool::new();
-        pool.add(VmSize::D3, VmRole::Pinned);
+        // Enough pinned 4-slot VMs for every source and sink instance: one
+        // suffices for the paper's dataflows (≤ 2 pinned instances), but
+        // width-scaled workloads grow the pinned set with the dataflow.
+        let pinned = instances.len() - users;
+        for _ in 0..pinned.div_ceil(VmSize::D3.slots() as usize).max(1) {
+            pool.add(VmSize::D3, VmRole::Pinned);
+        }
         for _ in 0..initial_vms {
             pool.add(VmSize::D2, VmRole::InitialWorker);
         }
@@ -205,6 +211,21 @@ mod tests {
             assert_eq!(pout.initial_vm_count(), default_vms, "{name} default (out)");
             assert_eq!(pout.target_vm_count(), out_vms, "{name} scale-out");
         }
+    }
+
+    #[test]
+    fn pinned_pool_grows_with_scaled_source_and_sink() {
+        // gridx6: 6 source + 6 sink instances need ⌈12/4⌉ = 3 pinned VMs;
+        // the paper dataflows (≤ 2 pinned instances) keep exactly one.
+        let dag = library::grid_scaled(6);
+        let inst = InstanceSet::plan(&dag);
+        let plan = ScalePlan::paper_scenario(&dag, &inst, ScaleDirection::In).unwrap();
+        assert_eq!(plan.pool().with_role(VmRole::Pinned).count(), 3);
+        assert_eq!(plan.migrating().len(), 15 * 6);
+        let small = library::linear();
+        let sinst = InstanceSet::plan(&small);
+        let splan = ScalePlan::paper_scenario(&small, &sinst, ScaleDirection::In).unwrap();
+        assert_eq!(splan.pool().with_role(VmRole::Pinned).count(), 1);
     }
 
     #[test]

@@ -38,13 +38,18 @@ use flowmig_sim::SimDuration;
 pub struct Ccr {
     init_resend: SimDuration,
     wave_timeout: Option<SimDuration>,
+    parallel_fan_out: Option<usize>,
 }
 
 impl Default for Ccr {
     fn default() -> Self {
         // The checkpoint waves roll back if not fully acked within the
         // acking timeout (§2's three-phase-commit failure handling).
-        Ccr { init_resend: resend::FAST, wave_timeout: Some(resend::ACK_TIMEOUT) }
+        Ccr {
+            init_resend: resend::FAST,
+            wave_timeout: Some(resend::ACK_TIMEOUT),
+            parallel_fan_out: None,
+        }
     }
 }
 
@@ -83,6 +88,25 @@ impl Ccr {
         self.wave_timeout = None;
         self
     }
+
+    /// Parallelizes the checkpoint waves: COMMIT and INIT both switch to
+    /// [`WaveRouting::Parallel`] with `fan_out` in-flight store operations
+    /// per shard (0 = the engine's
+    /// [`EngineConfig::wave_fan_out`](flowmig_engine::EngineConfig)
+    /// default). PREPARE stays broadcast — it is what starts capture, not a
+    /// store operation. Wave time becomes the max over store shards instead
+    /// of the O(instances) sweep; the `migration_latency` bench quantifies
+    /// the win.
+    pub fn with_parallel_waves(mut self, fan_out: usize) -> Self {
+        self.parallel_fan_out = Some(fan_out);
+        self
+    }
+
+    /// The configured per-shard parallel-wave fan-out, if parallel waves
+    /// are enabled.
+    pub fn parallel_fan_out(&self) -> Option<usize> {
+        self.parallel_fan_out
+    }
 }
 
 impl MigrationStrategy for Ccr {
@@ -95,12 +119,11 @@ impl MigrationStrategy for Ccr {
     }
 
     fn coordinator(&self) -> Box<dyn MigrationCoordinator> {
-        Box::new(PhasedCoordinator::new(
-            "CCR",
-            PhasedRouting { prepare: WaveRouting::Broadcast, init: WaveRouting::Broadcast },
-            self.init_resend,
-            self.wave_timeout,
-        ))
+        let mut routing = PhasedRouting::classic(WaveRouting::Broadcast, WaveRouting::Broadcast);
+        if let Some(fan_out) = self.parallel_fan_out {
+            routing = routing.with_parallel_waves(fan_out);
+        }
+        Box::new(PhasedCoordinator::new("CCR", routing, self.init_resend, self.wave_timeout))
     }
 }
 
@@ -121,6 +144,16 @@ mod tests {
         assert!(p.capture_on_prepare);
         assert!(p.persist_pending);
         assert!(!p.ack_user_events);
+    }
+
+    #[test]
+    fn parallel_waves_builder() {
+        let c = Ccr::new();
+        assert_eq!(c.parallel_fan_out(), None, "sequential COMMIT by default");
+        let p = c.with_parallel_waves(4);
+        assert_eq!(p.parallel_fan_out(), Some(4));
+        // 0 defers to the engine-config default window.
+        assert_eq!(c.with_parallel_waves(0).parallel_fan_out(), Some(0));
     }
 
     #[test]

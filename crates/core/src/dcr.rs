@@ -34,13 +34,18 @@ use flowmig_sim::SimDuration;
 pub struct Dcr {
     init_resend: SimDuration,
     wave_timeout: Option<SimDuration>,
+    parallel_fan_out: Option<usize>,
 }
 
 impl Default for Dcr {
     fn default() -> Self {
         // The checkpoint waves roll back if not fully acked within the
         // acking timeout (§2's three-phase-commit failure handling).
-        Dcr { init_resend: resend::FAST, wave_timeout: Some(resend::ACK_TIMEOUT) }
+        Dcr {
+            init_resend: resend::FAST,
+            wave_timeout: Some(resend::ACK_TIMEOUT),
+            parallel_fan_out: None,
+        }
     }
 }
 
@@ -80,6 +85,25 @@ impl Dcr {
         self.wave_timeout = None;
         self
     }
+
+    /// Parallelizes the checkpoint waves: COMMIT and INIT both switch to
+    /// [`WaveRouting::Parallel`] with `fan_out` in-flight store operations
+    /// per shard (0 = the engine's
+    /// [`EngineConfig::wave_fan_out`](flowmig_engine::EngineConfig)
+    /// default). PREPARE stays sequential — it *is* the drain rearguard and
+    /// must keep sweeping behind the in-flight events. By COMMIT time the
+    /// dataflow is fully drained, so the persist order no longer matters
+    /// and the wave can fan out across store shards.
+    pub fn with_parallel_waves(mut self, fan_out: usize) -> Self {
+        self.parallel_fan_out = Some(fan_out);
+        self
+    }
+
+    /// The configured per-shard parallel-wave fan-out, if parallel waves
+    /// are enabled.
+    pub fn parallel_fan_out(&self) -> Option<usize> {
+        self.parallel_fan_out
+    }
 }
 
 impl MigrationStrategy for Dcr {
@@ -92,12 +116,11 @@ impl MigrationStrategy for Dcr {
     }
 
     fn coordinator(&self) -> Box<dyn MigrationCoordinator> {
-        Box::new(PhasedCoordinator::new(
-            "DCR",
-            PhasedRouting { prepare: WaveRouting::Sequential, init: WaveRouting::Sequential },
-            self.init_resend,
-            self.wave_timeout,
-        ))
+        let mut routing = PhasedRouting::classic(WaveRouting::Sequential, WaveRouting::Sequential);
+        if let Some(fan_out) = self.parallel_fan_out {
+            routing = routing.with_parallel_waves(fan_out);
+        }
+        Box::new(PhasedCoordinator::new("DCR", routing, self.init_resend, self.wave_timeout))
     }
 }
 
@@ -121,6 +144,13 @@ mod tests {
             .with_wave_timeout(SimDuration::from_secs(20));
         assert_eq!(d.init_resend(), SimDuration::from_secs(30));
         assert_eq!(d.wave_timeout(), Some(SimDuration::from_secs(20)));
+    }
+
+    #[test]
+    fn parallel_waves_builder() {
+        let d = Dcr::new();
+        assert_eq!(d.parallel_fan_out(), None, "fully sequential by default");
+        assert_eq!(d.with_parallel_waves(8).parallel_fan_out(), Some(8));
     }
 
     #[test]

@@ -37,11 +37,12 @@ const PAUSE_TIMEOUT_TOKEN: u32 = 1;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Dsm {
     pause_timeout: SimDuration,
+    parallel_fan_out: Option<usize>,
 }
 
 impl Default for Dsm {
     fn default() -> Self {
-        Dsm { pause_timeout: SimDuration::ZERO }
+        Dsm { pause_timeout: SimDuration::ZERO, parallel_fan_out: None }
     }
 }
 
@@ -53,12 +54,28 @@ impl Dsm {
 
     /// DSM with a user-specified pause timeout before the kill (§2).
     pub fn with_pause_timeout(pause_timeout: SimDuration) -> Self {
-        Dsm { pause_timeout }
+        Dsm { pause_timeout, parallel_fan_out: None }
     }
 
     /// The configured pause timeout.
     pub fn pause_timeout(&self) -> SimDuration {
         self.pause_timeout
+    }
+
+    /// Parallelizes DSM's store-bound waves: the periodic-checkpoint COMMIT
+    /// and the post-rebalance INIT switch to [`WaveRouting::Parallel`] with
+    /// `fan_out` in-flight store operations per shard (0 = the engine
+    /// default). The periodic PREPARE stays sequential — its barrier is
+    /// what makes the snapshot consistent against in-flight events.
+    pub fn with_parallel_waves(mut self, fan_out: usize) -> Self {
+        self.parallel_fan_out = Some(fan_out);
+        self
+    }
+
+    /// The configured per-shard parallel-wave fan-out, if parallel waves
+    /// are enabled.
+    pub fn parallel_fan_out(&self) -> Option<usize> {
+        self.parallel_fan_out
     }
 }
 
@@ -72,10 +89,15 @@ impl MigrationStrategy for Dsm {
     }
 
     fn coordinator(&self) -> Box<dyn MigrationCoordinator> {
+        let store_wave = match self.parallel_fan_out {
+            Some(fan_out) => WaveRouting::Parallel { fan_out },
+            None => WaveRouting::Sequential,
+        };
         Box::new(DsmCoordinator {
             state: DsmState::Idle,
             pause_timeout: self.pause_timeout,
             paused: false,
+            store_wave,
         })
     }
 }
@@ -108,6 +130,9 @@ struct DsmCoordinator {
     state: DsmState,
     pause_timeout: SimDuration,
     paused: bool,
+    /// Routing of the store-bound waves (COMMIT, INIT): sequential by
+    /// default, per-shard parallel under `with_parallel_waves`.
+    store_wave: WaveRouting,
 }
 
 impl MigrationCoordinator for DsmCoordinator {
@@ -170,7 +195,7 @@ impl MigrationCoordinator for DsmCoordinator {
         self.state = DsmState::Restoring;
         ctl.phase_started(MigrationPhase::Restore);
         ctl.reset_wave(ControlKind::Init);
-        ctl.start_wave(ControlKind::Init, WaveRouting::Sequential);
+        ctl.start_wave(ControlKind::Init, self.store_wave);
         ctl.schedule_resend(ControlKind::Init, resend::ACK_TIMEOUT);
     }
 
@@ -181,7 +206,7 @@ impl MigrationCoordinator for DsmCoordinator {
         {
             // The earlier INIT wave timed out against tasks that were not
             // active yet; Storm re-sends after the 30 s acking timeout.
-            ctl.start_wave(ControlKind::Init, WaveRouting::Sequential);
+            ctl.start_wave(ControlKind::Init, self.store_wave);
             ctl.schedule_resend(ControlKind::Init, resend::ACK_TIMEOUT);
         }
     }
@@ -191,7 +216,7 @@ impl MigrationCoordinator for DsmCoordinator {
             (DsmState::PeriodicPrepare, ControlKind::Prepare) => {
                 self.state = DsmState::PeriodicCommit;
                 ctl.reset_wave(ControlKind::Commit);
-                ctl.start_wave(ControlKind::Commit, WaveRouting::Sequential);
+                ctl.start_wave(ControlKind::Commit, self.store_wave);
             }
             (DsmState::PeriodicCommit, ControlKind::Commit) => {
                 self.state = DsmState::Idle;
@@ -231,5 +256,11 @@ mod tests {
     #[test]
     fn coordinator_name() {
         assert_eq!(Dsm::new().coordinator().name(), "DSM");
+    }
+
+    #[test]
+    fn parallel_waves_builder() {
+        assert_eq!(Dsm::new().parallel_fan_out(), None);
+        assert_eq!(Dsm::new().with_parallel_waves(2).parallel_fan_out(), Some(2));
     }
 }

@@ -15,13 +15,34 @@ use flowmig_sim::SimDuration;
 /// Timer token guarding the PREPARE/COMMIT phases.
 const WAVE_TIMEOUT_TOKEN: u32 = 2;
 
-/// Routing choices distinguishing DCR from CCR.
+/// Routing choices distinguishing DCR from CCR (and their parallel-wave
+/// variants).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct PhasedRouting {
     /// PREPARE: Sequential (DCR drain rearguard) or Broadcast (CCR capture).
     pub prepare: WaveRouting,
-    /// INIT: Sequential (DCR) or Broadcast (CCR vanguard).
+    /// COMMIT: Sequential (the classic hop-by-hop persist sweep) or
+    /// Parallel (per-store-shard fan-out; see
+    /// [`WaveRouting::Parallel`]).
+    pub commit: WaveRouting,
+    /// INIT: Sequential (DCR), Broadcast (CCR vanguard) or Parallel.
     pub init: WaveRouting,
+}
+
+impl PhasedRouting {
+    /// The classic routing for `prepare`/`init` with a sequential COMMIT.
+    pub(crate) fn classic(prepare: WaveRouting, init: WaveRouting) -> Self {
+        PhasedRouting { prepare, commit: WaveRouting::Sequential, init }
+    }
+
+    /// Switches COMMIT and INIT to per-shard parallel fan-out (`fan_out`
+    /// in-flight store operations per shard; 0 = engine default). PREPARE
+    /// keeps its drain/capture semantics and is never parallelized.
+    pub(crate) fn with_parallel_waves(mut self, fan_out: usize) -> Self {
+        self.commit = WaveRouting::Parallel { fan_out };
+        self.init = WaveRouting::Parallel { fan_out };
+        self
+    }
 }
 
 /// Phase progression of a managed migration.
@@ -98,12 +119,14 @@ impl MigrationCoordinator for PhasedCoordinator {
         match (self.phase, kind) {
             (Phase::Draining, ControlKind::Prepare) => {
                 // All in-flight events are drained (DCR) or captured (CCR);
-                // persist everything with a sequential COMMIT sweep.
+                // persist everything — with the classic sequential COMMIT
+                // sweep, or fanned out per store shard when the strategy
+                // requested parallel waves.
                 self.phase = Phase::Committing;
                 ctl.phase_ended(MigrationPhase::Drain);
                 ctl.phase_started(MigrationPhase::Commit);
                 ctl.reset_wave(ControlKind::Commit);
-                ctl.start_wave(ControlKind::Commit, WaveRouting::Sequential);
+                ctl.start_wave(ControlKind::Commit, self.routing.commit);
             }
             (Phase::Committing, ControlKind::Commit) => {
                 // Checkpoint durable: enact Storm's rebalance, timeout 0.
@@ -175,11 +198,20 @@ mod tests {
     fn starts_idle() {
         let c = PhasedCoordinator::new(
             "DCR",
-            PhasedRouting { prepare: WaveRouting::Sequential, init: WaveRouting::Sequential },
+            PhasedRouting::classic(WaveRouting::Sequential, WaveRouting::Sequential),
             SimDuration::from_secs(1),
             None,
         );
         assert_eq!(c.phase(), Phase::Idle);
         assert_eq!(c.name(), "DCR");
+    }
+
+    #[test]
+    fn parallel_waves_touch_commit_and_init_only() {
+        let r = PhasedRouting::classic(WaveRouting::Broadcast, WaveRouting::Broadcast)
+            .with_parallel_waves(8);
+        assert_eq!(r.prepare, WaveRouting::Broadcast, "PREPARE keeps capture semantics");
+        assert_eq!(r.commit, WaveRouting::Parallel { fan_out: 8 });
+        assert_eq!(r.init, WaveRouting::Parallel { fan_out: 8 });
     }
 }

@@ -86,6 +86,12 @@ pub struct EngineConfig {
     /// hash to shards by index; per-shard counters price COMMIT waves).
     /// Must be at least 1.
     pub store_shards: usize,
+    /// Default per-shard concurrency window for
+    /// [`WaveRouting::Parallel`](crate::WaveRouting::Parallel) waves: how
+    /// many in-flight persist/fetch operations one store shard serves at a
+    /// time when a strategy requests `Parallel { fan_out: 0 }`. Must be at
+    /// least 1.
+    pub wave_fan_out: usize,
     /// Maximum unacked roots outstanding at the source before new emissions
     /// are throttled (Storm's `max.spout.pending`; only with acking).
     pub max_spout_pending: usize,
@@ -126,6 +132,7 @@ impl Default for EngineConfig {
             net_latency_remote: SimDuration::from_micros(1_500),
             store: StoreLatencyModel::default(),
             store_shards: crate::store::ShardedStateStore::DEFAULT_SHARDS,
+            wave_fan_out: Self::DEFAULT_WAVE_FAN_OUT,
             max_spout_pending: 60,
             source_drain_interval: SimDuration::from_millis(10),
             max_source_backlog: 100,
@@ -138,6 +145,10 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
+    /// Default per-shard window for parallel checkpoint waves: a Redis-like
+    /// shard comfortably pipelines a handful of in-flight commands.
+    pub const DEFAULT_WAVE_FAN_OUT: usize = 4;
+
     /// Draws a jittered rebalance-command duration.
     pub fn rebalance_duration(&self, rng: &mut SimRng) -> SimDuration {
         rng.jittered(self.rebalance_base, self.rebalance_jitter)
@@ -202,5 +213,12 @@ mod tests {
     fn net_latency_prefers_local() {
         let cfg = EngineConfig::default();
         assert!(cfg.net_latency(true) < cfg.net_latency(false));
+    }
+
+    #[test]
+    fn wave_fan_out_default_is_positive() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.wave_fan_out, EngineConfig::DEFAULT_WAVE_FAN_OUT);
+        assert!(cfg.wave_fan_out >= 1);
     }
 }

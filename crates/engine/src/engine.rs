@@ -78,6 +78,11 @@ pub struct EngineModel {
     staged_updates: Vec<(TaskId, flowmig_topology::TaskSpec)>,
     next_wave: HashMap<ControlKind, u32>,
     wave_routing: HashMap<ControlKind, WaveRouting>,
+    /// Per-kind, per-store-shard queues of instances a parallel wave has
+    /// not yet reached: the bounded fan-out window of each shard advances
+    /// from [`Self::advance_parallel_wave`] as the shard's in-flight
+    /// operations complete.
+    parallel_pending: HashMap<ControlKind, Vec<VecDeque<usize>>>,
     trackers: HashMap<ControlKind, WaveTracker>,
     participants: HashSet<InstanceId>,
     expected_senders: Vec<usize>,
@@ -150,6 +155,7 @@ impl EngineCtl<'_, '_> {
     /// phase so acks from earlier phases don't count.
     pub fn reset_wave(&mut self, kind: ControlKind) {
         self.model.trackers.insert(kind, WaveTracker::default());
+        self.model.parallel_pending.remove(&kind);
     }
 
     /// Arms a one-shot resend timer for `kind`.
@@ -301,6 +307,7 @@ impl EngineModel {
             staged_updates: Vec::new(),
             next_wave: HashMap::new(),
             wave_routing: HashMap::new(),
+            parallel_pending: HashMap::new(),
             trackers: HashMap::new(),
             participants,
             expected_senders,
@@ -715,7 +722,7 @@ impl EngineModel {
                 let from = ControlSender::CheckpointSource(TaskId::from_index(0));
                 let injections: Vec<(usize, ControlSender)> =
                     targets.into_iter().map(|to| (to, from)).collect();
-                self.deliver_wave_batch(injections, kind, wave, sched);
+                self.deliver_wave_batch(injections, kind, wave, SimDuration::ZERO, sched);
             }
             WaveRouting::Sequential => {
                 // Enter at root operator tasks: one injection per (source
@@ -729,10 +736,86 @@ impl EngineModel {
                         }
                     }
                 }
-                self.deliver_wave_batch(injections, kind, wave, sched);
+                self.deliver_wave_batch(injections, kind, wave, SimDuration::ZERO, sched);
+            }
+            WaveRouting::Parallel { fan_out } => {
+                // Hub-and-spoke paced by the sharded store: every shard
+                // serves at most `fan_out` in-flight operations; the rest
+                // of the shard's instances queue in `parallel_pending` and
+                // are injected one by one as operations complete
+                // (`advance_parallel_wave`). Shards progress concurrently,
+                // so wave time is the max over shards, not the sum.
+                let window = self.effective_fan_out(fan_out);
+                let shard_count = self.store.shard_count();
+                let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); shard_count];
+                // Re-sent waves target only the instances still missing
+                // (e.g. workers that dropped the INIT while starting):
+                // already-acked instances would ack as duplicates without
+                // advancing any window, wedging the shard behind them.
+                let acked = self.trackers.get(&kind).map(|t| &t.acked);
+                let mut targets: Vec<usize> = self
+                    .participants
+                    .iter()
+                    .filter(|i| !acked.is_some_and(|a| a.contains(i)))
+                    .map(|i| i.index())
+                    .collect();
+                targets.sort_unstable();
+                for to in targets {
+                    queues[self.store.shard_of(InstanceId::from_index(to))].push_back(to);
+                }
+                let from = ControlSender::CheckpointSource(TaskId::from_index(0));
+                let mut injections: Vec<(usize, ControlSender)> = Vec::new();
+                for queue in &mut queues {
+                    for _ in 0..window {
+                        match queue.pop_front() {
+                            Some(to) => injections.push((to, from)),
+                            None => break,
+                        }
+                    }
+                }
+                self.parallel_pending.insert(kind, queues);
+                // One remote-network epoch of head start keeps the wave a
+                // rearguard: every data event still in flight when the wave
+                // began (emissions have ceased by then for the strategies
+                // that parallelize COMMIT) reaches its queue first.
+                let guard = self.config.net_latency_remote;
+                self.deliver_wave_batch(injections, kind, wave, guard, sched);
             }
         }
         wave
+    }
+
+    /// Resolves a wave's per-shard window: 0 defers to the engine default.
+    fn effective_fan_out(&self, fan_out: usize) -> usize {
+        let w = if fan_out == 0 { self.config.wave_fan_out } else { fan_out };
+        w.max(1)
+    }
+
+    /// After an instance concludes its part in a parallel `kind` wave,
+    /// injects the next queued instance of the same store shard — the
+    /// per-shard completion aggregation that keeps at most `fan_out`
+    /// operations in flight per shard.
+    fn advance_parallel_wave(
+        &mut self,
+        kind: ControlKind,
+        instance: usize,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        if !matches!(self.wave_routing.get(&kind), Some(WaveRouting::Parallel { .. })) {
+            return;
+        }
+        let shard = self.store.shard_of(InstanceId::from_index(instance));
+        let next = match self.parallel_pending.get_mut(&kind) {
+            Some(queues) => match queues.get_mut(shard).and_then(VecDeque::pop_front) {
+                Some(next) => next,
+                None => return,
+            },
+            None => return,
+        };
+        // Waves number from 0; `next_wave` already holds the *next* one.
+        let wave = self.next_wave.get(&kind).map_or(0, |w| w.saturating_sub(1));
+        let from = ControlSender::CheckpointSource(TaskId::from_index(0));
+        self.deliver(QueueItem::Control(ControlEvent { kind, wave, from }), None, next, sched);
     }
 
     /// Fans a control wave out from the checkpoint source: injections with
@@ -741,16 +824,19 @@ impl EngineModel {
     /// ([`Scheduler::after_batch`]) instead of one insertion per target.
     /// Within a class the injection order is kept, and classes never tie on
     /// the due instant, so dispatch order matches per-target delivery.
+    /// `extra` shifts every class by a fixed head start (parallel waves'
+    /// rearguard guard; zero for broadcast/sequential).
     fn deliver_wave_batch(
         &mut self,
         injections: Vec<(usize, ControlSender)>,
         kind: ControlKind,
         wave: u32,
+        extra: SimDuration,
         sched: &mut Scheduler<'_, Ev>,
     ) {
         let mut classes: Vec<(SimDuration, Vec<Ev>)> = Vec::new();
         for (to, from) in injections {
-            let delay = self.net_delay(None, to);
+            let delay = extra + self.net_delay(None, to);
             let ev =
                 Ev::Deliver { to, item: QueueItem::Control(ControlEvent { kind, wave, from }) };
             match classes.iter_mut().find(|(d, _)| *d == delay) {
@@ -812,11 +898,20 @@ impl EngineModel {
                 if self.already_acked(ControlKind::Commit, instance) {
                     return;
                 }
-                let seen = self.runtimes[instance].seen.record(ControlKind::Commit, c.from);
-                if seen < self.expected_senders[instance] {
-                    return;
+                let routing = self
+                    .wave_routing
+                    .get(&ControlKind::Commit)
+                    .copied()
+                    .unwrap_or(WaveRouting::Sequential);
+                if routing == WaveRouting::Sequential {
+                    // Barrier alignment only applies to the hop-by-hop
+                    // sweep; hub-and-spoke COMMITs act on first receipt.
+                    let seen = self.runtimes[instance].seen.record(ControlKind::Commit, c.from);
+                    if seen < self.expected_senders[instance] {
+                        return;
+                    }
+                    self.runtimes[instance].seen.clear(ControlKind::Commit);
                 }
-                self.runtimes[instance].seen.clear(ControlKind::Commit);
                 // Second half: persist to the state store (latency charged).
                 let pending_len = if self.protocol.persist_pending {
                     self.runtimes[instance].pending.len()
@@ -884,7 +979,11 @@ impl EngineModel {
         };
         self.store.put(iid, StateBlob { processed, pending });
         self.stats.state_persists += 1;
-        self.forward_control(instance, c, sched);
+        if self.wave_routing.get(&ControlKind::Commit).copied().unwrap_or(WaveRouting::Sequential)
+            == WaveRouting::Sequential
+        {
+            self.forward_control(instance, c, sched);
+        }
         self.ack_control(instance, ControlKind::Commit, sched);
     }
 
@@ -950,15 +1049,25 @@ impl EngineModel {
 
     fn ack_control(&mut self, instance: usize, kind: ControlKind, sched: &mut Scheduler<'_, Ev>) {
         let iid = InstanceId::from_index(instance);
-        let Some(tracker) = self.trackers.get_mut(&kind) else {
-            return;
+        let (newly_acked, start_completion) = {
+            let Some(tracker) = self.trackers.get_mut(&kind) else {
+                return;
+            };
+            let newly_acked = tracker.acked.insert(iid);
+            let complete = tracker.acked.len() >= self.participants.len();
+            let start = complete && !tracker.completed;
+            if start {
+                tracker.completed = true;
+            }
+            (newly_acked, start)
         };
-        if tracker.acked.insert(iid) {
+        if newly_acked {
             self.trace.record(TraceEvent::ControlAcked { kind, instance: iid, at: sched.now() });
+            // A parallel wave frees one slot in this instance's store-shard
+            // window; hand it to the shard's next queued instance.
+            self.advance_parallel_wave(kind, instance, sched);
         }
-        let complete = tracker.acked.len() >= self.participants.len();
-        if complete && !tracker.completed {
-            tracker.completed = true;
+        if start_completion {
             self.notify(sched, |c, ctl| c.on_wave_complete(kind, ctl));
         }
     }

@@ -20,6 +20,27 @@ pub enum WaveRouting {
     /// Hub-and-spoke directly from the checkpoint source to the end of
     /// every instance's input queue (CCR's PREPARE and INIT).
     Broadcast,
+    /// Hub-and-spoke like [`Broadcast`](WaveRouting::Broadcast), but paced
+    /// by the sharded checkpoint store: participants are grouped by store
+    /// shard (deterministic order: shard index, then instance index) and
+    /// each shard serves at most `fan_out` concurrent persist/fetch
+    /// operations — the next instance of a shard is injected only when one
+    /// of the shard's in-flight operations completes. Shards progress
+    /// concurrently, so wave time is the *max* over shards (≈ instances /
+    /// (shards × fan_out) store round-trips) instead of the O(instances)
+    /// sweep of a hop-by-hop wave.
+    ///
+    /// The first window is injected one remote-network epoch after the wave
+    /// starts, which keeps the wave a rearguard: any data event still in
+    /// network flight when the wave starts lands first.
+    ///
+    /// `fan_out == 0` defers to the engine default
+    /// ([`EngineConfig::wave_fan_out`](crate::EngineConfig::wave_fan_out)).
+    Parallel {
+        /// Maximum concurrent store operations per shard (0 = engine
+        /// default).
+        fan_out: usize,
+    },
 }
 
 /// Static protocol behaviour selected by a strategy.
@@ -153,6 +174,15 @@ mod tests {
         let ccr = ProtocolConfig::ccr();
         assert!(!ccr.ack_user_events && !ccr.periodic_checkpoint);
         assert!(ccr.capture_on_prepare && ccr.persist_pending);
+    }
+
+    #[test]
+    fn parallel_routing_carries_fan_out() {
+        let r = WaveRouting::Parallel { fan_out: 4 };
+        assert_ne!(r, WaveRouting::Sequential);
+        assert_ne!(r, WaveRouting::Broadcast);
+        assert_ne!(r, WaveRouting::Parallel { fan_out: 2 });
+        assert!(matches!(r, WaveRouting::Parallel { fan_out: 4 }));
     }
 
     #[test]

@@ -195,6 +195,147 @@ fn commit_persists_state_for_every_participant() {
     assert_eq!(engine.stats().state_persists as usize, participants);
 }
 
+/// Pauses sources, runs a sequential PREPARE, then a COMMIT with the given
+/// routing, recording when the COMMIT wave completes.
+struct CommitProbe {
+    commit_routing: WaveRouting,
+    commit_done_at: std::rc::Rc<std::cell::Cell<Option<SimTime>>>,
+}
+
+impl MigrationCoordinator for CommitProbe {
+    fn name(&self) -> &'static str {
+        "commit-probe"
+    }
+    fn on_migration_requested(&mut self, ctl: &mut EngineCtl<'_, '_>) {
+        ctl.pause_sources();
+        ctl.reset_wave(ControlKind::Prepare);
+        ctl.start_wave(ControlKind::Prepare, WaveRouting::Sequential);
+    }
+    fn on_wave_complete(&mut self, kind: ControlKind, ctl: &mut EngineCtl<'_, '_>) {
+        match kind {
+            ControlKind::Prepare => {
+                ctl.reset_wave(ControlKind::Commit);
+                ctl.start_wave(ControlKind::Commit, self.commit_routing);
+            }
+            ControlKind::Commit => self.commit_done_at.set(Some(ctl.now())),
+            _ => {}
+        }
+    }
+    fn on_rebalance_complete(&mut self, _: &mut EngineCtl<'_, '_>) {}
+    fn on_resend_timer(&mut self, _: ControlKind, _: &mut EngineCtl<'_, '_>) {}
+}
+
+/// Runs a drain + COMMIT on `dag` and returns (commit completion instant,
+/// persist count, store length).
+fn run_commit_probe(
+    dag: Dataflow,
+    commit_routing: WaveRouting,
+    store_shards: usize,
+) -> (Option<SimTime>, u64, usize) {
+    let instances = InstanceSet::plan(&dag);
+    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).expect("placeable");
+    let done = std::rc::Rc::new(std::cell::Cell::new(None));
+    let coordinator = CommitProbe { commit_routing, commit_done_at: std::rc::Rc::clone(&done) };
+    let mut engine = Engine::new(
+        dag,
+        instances,
+        &plan,
+        EngineConfig { store_shards, ..EngineConfig::default() },
+        ProtocolConfig::dcr(),
+        Box::new(coordinator),
+        21,
+    );
+    engine.schedule_migration(SimTime::from_secs(20));
+    engine.run_until(SimTime::from_secs(80));
+    (done.get(), engine.stats().state_persists, engine.store().len())
+}
+
+#[test]
+fn parallel_commit_persists_every_participant() {
+    let dag = library::grid_scaled(3); // 48 participants
+    let participants = 16 * 3;
+    let (done, persists, stored) = run_commit_probe(dag, WaveRouting::Parallel { fan_out: 4 }, 8);
+    assert!(done.is_some(), "parallel COMMIT wave completes");
+    assert_eq!(persists as usize, participants, "one persist per participant");
+    assert_eq!(stored, participants, "every participant committed a blob");
+}
+
+#[test]
+fn parallel_commit_beats_sequential_sweep_on_wide_grid() {
+    // 48 participants, 8 store shards: the hop-by-hop sweep pays
+    // O(instances) alignment handling along the depth-7 critical path; the
+    // per-shard fan-out pays ~instances/(shards × fan_out) store
+    // round-trips. Strictly earlier completion, by a wide margin.
+    let sequential = run_commit_probe(library::grid_scaled(3), WaveRouting::Sequential, 8)
+        .0
+        .expect("sequential COMMIT completes");
+    let parallel =
+        run_commit_probe(library::grid_scaled(3), WaveRouting::Parallel { fan_out: 4 }, 8)
+            .0
+            .expect("parallel COMMIT completes");
+    assert!(
+        parallel < sequential,
+        "parallel COMMIT ({parallel:?}) must finish strictly before sequential ({sequential:?})"
+    );
+}
+
+#[test]
+fn parallel_commit_time_is_max_over_shards() {
+    // Same wave, same fan-out, more shards ⇒ smaller per-shard queue ⇒
+    // earlier completion: wave time is the max over shards, not the sum.
+    let one = run_commit_probe(library::grid_scaled(3), WaveRouting::Parallel { fan_out: 1 }, 1)
+        .0
+        .expect("1-shard COMMIT completes");
+    let eight = run_commit_probe(library::grid_scaled(3), WaveRouting::Parallel { fan_out: 1 }, 8)
+        .0
+        .expect("8-shard COMMIT completes");
+    assert!(
+        eight < one,
+        "8 shards ({eight:?}) must commit strictly earlier than 1 shard ({one:?})"
+    );
+}
+
+#[test]
+fn duplicate_parallel_waves_are_idempotent() {
+    // Parallel INIT resends must behave like broadcast resends: already
+    // initialized instances skip the restore and just re-ack.
+    struct TwoParallelInits;
+    impl MigrationCoordinator for TwoParallelInits {
+        fn name(&self) -> &'static str {
+            "two-parallel-inits"
+        }
+        fn on_migration_requested(&mut self, ctl: &mut EngineCtl<'_, '_>) {
+            ctl.reset_wave(ControlKind::Init);
+            ctl.start_wave(ControlKind::Init, WaveRouting::Parallel { fan_out: 2 });
+            ctl.start_wave(ControlKind::Init, WaveRouting::Parallel { fan_out: 2 });
+        }
+        fn on_wave_complete(&mut self, _: ControlKind, _: &mut EngineCtl<'_, '_>) {}
+        fn on_rebalance_complete(&mut self, _: &mut EngineCtl<'_, '_>) {}
+        fn on_resend_timer(&mut self, _: ControlKind, _: &mut EngineCtl<'_, '_>) {}
+    }
+    let dag = library::linear();
+    let instances = InstanceSet::plan(&dag);
+    let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).expect("placeable");
+    let mut engine = Engine::new(
+        dag,
+        instances,
+        &plan,
+        EngineConfig::default(),
+        ProtocolConfig::dcr(),
+        Box::new(TwoParallelInits),
+        7,
+    );
+    engine.schedule_migration(SimTime::from_secs(10));
+    engine.run_until(SimTime::from_secs(20));
+    assert_eq!(engine.stats().state_fetches, 0, "initialized instances skip INIT restores");
+    let waves = engine
+        .trace()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::ControlWave { kind: ControlKind::Init, .. }))
+        .count();
+    assert_eq!(waves, 2);
+}
+
 #[test]
 fn spout_throttles_at_max_pending() {
     // Acking on, but the sink's acks never complete the trees: pick a

@@ -53,6 +53,7 @@ struct StoreShard {
     blobs: HashMap<InstanceId, StateBlob>,
     puts: u64,
     gets: u64,
+    misses: u64,
     bytes_written: u64,
     bytes_read: u64,
 }
@@ -62,8 +63,13 @@ struct StoreShard {
 pub struct ShardStats {
     /// Persist operations served by this shard.
     pub puts: u64,
-    /// Fetch operations served by this shard.
+    /// Fetch operations served by this shard (hits *and* misses: a GET of
+    /// an absent key is still a round-trip the shard serves).
     pub gets: u64,
+    /// Fetch operations that found no blob. Misses are *not* excluded from
+    /// `gets` (the operation happened) but read zero bytes — so
+    /// `bytes_read` reflects hits only.
+    pub misses: u64,
     /// Bytes written by persists to this shard.
     pub bytes_written: u64,
     /// Bytes read by fetches from this shard (misses read nothing).
@@ -146,6 +152,7 @@ impl ShardedStateStore {
         ShardStats {
             puts: s.puts,
             gets: s.gets,
+            misses: s.misses,
             bytes_written: s.bytes_written,
             bytes_read: s.bytes_read,
             blobs: s.blobs.len(),
@@ -170,8 +177,9 @@ impl ShardedStateStore {
         let s = &mut self.shards[shard];
         s.gets += 1;
         let blob = s.blobs.get(&instance).cloned();
-        if let Some(b) = &blob {
-            s.bytes_read += b.byte_size();
+        match &blob {
+            Some(b) => s.bytes_read += b.byte_size(),
+            None => s.misses += 1,
         }
         blob
     }
@@ -207,6 +215,11 @@ impl ShardedStateStore {
     /// Total fetch operations performed, across all shards.
     pub fn gets(&self) -> u64 {
         self.shards.iter().map(|s| s.gets).sum()
+    }
+
+    /// Total fetch operations that found no blob, across all shards.
+    pub fn misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.misses).sum()
     }
 
     /// Total bytes written across all shards.
@@ -391,6 +404,36 @@ mod tests {
         // A miss reads nothing.
         let _ = store.get(InstanceId::from_index(3));
         assert_eq!(store.bytes_read(), expected);
+    }
+
+    #[test]
+    fn miss_counts_as_get_but_reads_nothing() {
+        // Accounting audit pin: a failed lookup is still a served GET (the
+        // round-trip happened), increments the shard's `misses`, and must
+        // not touch `bytes_read` — only hits move bytes.
+        let mut store = ShardedStateStore::with_shards(4);
+        let present = InstanceId::from_index(1);
+        let absent = InstanceId::from_index(5); // same shard (1) as `present`
+        assert_eq!(store.shard_of(present), store.shard_of(absent));
+        store.put(present, StateBlob::of_count(9));
+        let written = store.shard_stats(1).bytes_written;
+        assert!(written > 0);
+
+        assert!(store.get(absent).is_none());
+        let stats = store.shard_stats(1);
+        assert_eq!(stats.gets, 1, "a miss is still a served fetch");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.bytes_read, 0, "misses read nothing");
+
+        assert!(store.get(present).is_some());
+        let stats = store.shard_stats(1);
+        assert_eq!(stats.gets, 2);
+        assert_eq!(stats.misses, 1, "hits don't count as misses");
+        assert_eq!(stats.bytes_read, written);
+        // Other shards untouched; aggregates line up.
+        assert_eq!(store.shard_stats(0).gets, 0);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.gets(), 2);
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub struct MigrationMetrics {
     pub replayed_messages: u64,
     /// Data events dropped at dead/absent instances (component of 7).
     pub dropped_messages: u64,
+    /// Span of the COMMIT phase alone (checkpoint persist wave) — the
+    /// quantity the parallel-wave work optimizes. `None` for strategies
+    /// without an explicit commit phase (DSM migrations).
+    pub commit_wave: Option<SimDuration>,
+    /// Span of the Restore phase alone (rebalance completion → INIT wave
+    /// fully acked), the other half of the parallel-wave critical path.
+    pub restore_wave: Option<SimDuration>,
 }
 
 impl MigrationMetrics {
@@ -72,6 +79,8 @@ impl MigrationMetrics {
 
         let timeline = RateTimeline::from_trace(log, bucket);
         let stabilization = find_stabilization(&timeline, criteria, req).map(rel);
+        let commit_wave = log.phase_span(MigrationPhase::Commit).map(|(s, e)| e - s);
+        let restore_wave = log.phase_span(MigrationPhase::Restore).map(|(s, e)| e - s);
 
         MigrationMetrics {
             restore,
@@ -82,6 +91,8 @@ impl MigrationMetrics {
             stabilization,
             replayed_messages: log.replayed_count(),
             dropped_messages: log.dropped_count(),
+            commit_wave,
+            restore_wave,
         }
     }
 
@@ -103,13 +114,16 @@ impl fmt::Display for MigrationMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "restore={} drain={} rebalance={} catchup={} recovery={} stabilization={} replayed={} dropped={}",
+            "restore={} drain={} rebalance={} catchup={} recovery={} stabilization={} \
+             commit_wave={} restore_wave={} replayed={} dropped={}",
             fmt_opt(self.restore),
             fmt_opt(self.drain_capture),
             fmt_opt(self.rebalance),
             fmt_opt(self.catchup),
             fmt_opt(self.recovery),
             fmt_opt(self.stabilization),
+            fmt_opt(self.commit_wave),
+            fmt_opt(self.restore_wave),
             self.replayed_messages,
             self.dropped_messages,
         )
@@ -221,6 +235,8 @@ mod tests {
             SimDuration::from_secs(10),
         );
         assert_eq!(m.drain_capture, Some(SimDuration::from_secs(3)));
+        assert_eq!(m.commit_wave, Some(SimDuration::from_secs(1)), "12s → 13s commit span");
+        assert_eq!(m.restore_wave, None, "no restore phase in this trace");
     }
 
     #[test]

@@ -42,13 +42,18 @@ impl<'a, E> Scheduler<'a, E> {
 
     /// Schedules `event` at an absolute instant.
     ///
+    /// A past instant is clamped to `now`: the event fires immediately
+    /// (after already-queued events for this instant) instead of entering
+    /// the future-event list behind the clock, which would corrupt pop
+    /// order. Debug builds additionally panic so the offending scheduling
+    /// logic is caught in development.
+    ///
     /// # Panics
     ///
-    /// Panics in debug builds if `at` is in the past; events cannot rewrite
-    /// history.
+    /// Panics in debug builds if `at` is in the past; release builds clamp.
     pub fn at(&mut self, at: SimTime, event: E) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
-        self.queue.schedule(at, event);
+        self.queue.schedule(at.max(self.now), event);
     }
 
     /// Schedules `event` to fire immediately (at the current instant, after
@@ -288,6 +293,61 @@ mod tests {
         let mut model = Chainer { seen: Vec::new() };
         sim.run_until(&mut model, SimTime::from_secs(1));
         assert_eq!(model.seen, vec![1, 2, 3, 99]);
+    }
+
+    /// Schedules one event into the past from inside a handler, via
+    /// `Scheduler::at`. Used by both past-scheduling guard tests.
+    struct PastScheduler {
+        fired_at: Vec<u64>,
+    }
+
+    impl Process<Ev> for PastScheduler {
+        fn handle(&mut self, ev: Ev, sched: &mut Scheduler<'_, Ev>) {
+            match ev {
+                Ev::Chain(_) => sched.at(SimTime::from_micros(1), Ev::Emit(7)),
+                Ev::Emit(_) => self.fired_at.push(sched.now().as_micros()),
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics_in_debug() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_millis(5), Ev::Chain(0));
+        sim.run_until(&mut PastScheduler { fired_at: Vec::new() }, SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn scheduling_into_the_past_clamps_to_now_in_release() {
+        // Release builds must not corrupt pop order: the past instant is
+        // clamped to `now`, so the event fires at the current instant and
+        // the clock never runs backwards.
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_millis(5), Ev::Chain(0));
+        let mut model = PastScheduler { fired_at: Vec::new() };
+        assert_eq!(sim.run_until(&mut model, SimTime::from_secs(1)), RunOutcome::Quiescent);
+        assert_eq!(model.fired_at, vec![5_000], "clamped to the scheduling instant");
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn at_future_instants_is_exact() {
+        // The clamp must not disturb legitimate absolute scheduling.
+        struct AtFuture;
+        impl Process<Ev> for AtFuture {
+            fn handle(&mut self, ev: Ev, sched: &mut Scheduler<'_, Ev>) {
+                if matches!(ev, Ev::Chain(_)) {
+                    sched.at(SimTime::from_millis(9), Ev::Emit(1));
+                }
+            }
+        }
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_millis(2), Ev::Chain(0));
+        sim.run_until(&mut AtFuture, SimTime::from_secs(1));
+        assert_eq!(sim.now(), SimTime::from_millis(9));
     }
 
     #[test]

@@ -133,16 +133,42 @@ pub fn traffic() -> Dataflow {
 /// plus a parallel 3-task direct chain `D1 → D2 → D3` (8 ev/s) — sink input
 /// 32 ev/s. Critical path: 6 user tasks (the deepest DAG evaluated).
 pub fn grid() -> Dataflow {
-    let mut b = DataflowBuilder::new("grid");
-    let src = b.add(TaskSpec::source("src", SOURCE_RATE_HZ));
-    let sink = b.add(TaskSpec::sink("sink"));
-    let m1 = b.add(TaskSpec::operator("m1"));
-    let m2 = b.add(TaskSpec::operator("m2"));
-    let m3 = b.add(TaskSpec::operator("m3"));
+    grid_inner("grid".into(), None)
+}
+
+/// Grid wiring with every task's instance count forced to `width` via
+/// [`TaskSpec::with_parallelism`] — the wave-latency scaling workload.
+///
+/// Rates are unchanged (8 ev/s source, shared across its `width`
+/// instances), so per-instance load *shrinks* as the dataflow widens; what
+/// grows is exactly what checkpoint waves pay for: the instance count. The
+/// 15 operator tasks plus the sink give `16 × width` wave participants
+/// (width 2 → 32, 3 → 48, 6 → 96, 12 → 192 — the `migration_latency`
+/// bench sizes).
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn grid_scaled(width: usize) -> Dataflow {
+    assert!(width > 0, "a scaled grid needs at least one instance per task");
+    grid_inner(format!("gridx{width}"), Some(width))
+}
+
+fn grid_inner(name: String, width: Option<usize>) -> Dataflow {
+    let widen = |spec: TaskSpec| match width {
+        Some(w) => spec.with_parallelism(w),
+        None => spec,
+    };
+    let mut b = DataflowBuilder::new(name);
+    let src = b.add(widen(TaskSpec::source("src", SOURCE_RATE_HZ)));
+    let sink = b.add(widen(TaskSpec::sink("sink")));
+    let m1 = b.add(widen(TaskSpec::operator("m1")));
+    let m2 = b.add(widen(TaskSpec::operator("m2")));
+    let m3 = b.add(widen(TaskSpec::operator("m3")));
     for chain in ["a", "b", "c"] {
         let mut prev = src;
         for i in 1..=3 {
-            let t = b.add(TaskSpec::operator(format!("{chain}{i}")));
+            let t = b.add(widen(TaskSpec::operator(format!("{chain}{i}"))));
             b.edge(prev, t);
             prev = t;
         }
@@ -151,7 +177,7 @@ pub fn grid() -> Dataflow {
     b.edge(m1, m2).edge(m2, m3).edge(m3, sink);
     let mut prev = src;
     for i in 1..=3 {
-        let t = b.add(TaskSpec::operator(format!("d{i}")));
+        let t = b.add(widen(TaskSpec::operator(format!("d{i}"))));
         b.edge(prev, t);
         prev = t;
     }
@@ -284,6 +310,28 @@ mod tests {
         assert_eq!(traffic().critical_path_len(), 4);
         assert_eq!(grid().critical_path_len(), 6);
         assert_eq!(linear_n(50).critical_path_len(), 50);
+    }
+
+    #[test]
+    fn grid_scaled_widens_every_task() {
+        for width in [2usize, 3, 6, 12] {
+            let dag = grid_scaled(width);
+            assert_eq!(dag.name(), format!("gridx{width}"));
+            assert_eq!(dag.user_tasks().count(), 15, "wiring unchanged");
+            assert_eq!(dag.critical_path_len(), 6, "depth unchanged");
+            let inst = InstanceSet::plan(&dag);
+            assert_eq!(inst.user_instance_count(&dag), 15 * width);
+            // Wave participants = operators + sinks = 16 × width.
+            let sink = dag.task_by_name("sink").unwrap();
+            assert_eq!(inst.of_task(sink).len(), width);
+            assert_eq!(inst.user_instance_count(&dag) + inst.of_task(sink).len(), 16 * width);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn grid_scaled_zero_rejected() {
+        let _ = grid_scaled(0);
     }
 
     #[test]

@@ -66,7 +66,16 @@ impl RatePlan {
     /// `max(1, ceil(input_rate / 8))` for operators; sources use their emit
     /// rate. Sinks always get a single instance — they have no service time
     /// and share the pinned logging VM with the source (§5, Table 1 footnote).
+    ///
+    /// An explicit [`TaskSpec::with_parallelism`] hint overrides the rule
+    /// entirely (for every kind, sinks included) — the scaled wave-latency
+    /// workloads use it to widen a dataflow without changing its rates.
+    ///
+    /// [`TaskSpec::with_parallelism`]: crate::TaskSpec::with_parallelism
     pub fn instances_for(&self, dag: &Dataflow, task: TaskId) -> usize {
+        if let Some(n) = dag.spec(task).parallelism_hint() {
+            return n;
+        }
         let rate = match dag.spec(task).kind() {
             TaskKind::Source => self.output_hz(task),
             TaskKind::Sink => return 1,
@@ -268,6 +277,23 @@ mod tests {
                 assert_eq!(inst.replica_of(iid) as usize, i);
             }
         }
+    }
+
+    #[test]
+    fn parallelism_hint_overrides_rate_rule() {
+        let mut b = DataflowBuilder::new("hinted");
+        let s = b.add(TaskSpec::source("src", 8.0).with_parallelism(2));
+        let t = b.add(TaskSpec::operator("t").with_parallelism(5)); // rule says 1
+        let k = b.add(TaskSpec::sink("sink").with_parallelism(3)); // rule says 1
+        b.edge(s, t).edge(t, k);
+        let dag = b.finish().unwrap();
+        let rates = RatePlan::for_dataflow(&dag);
+        assert_eq!(rates.instances_for(&dag, s), 2);
+        assert_eq!(rates.instances_for(&dag, t), 5);
+        assert_eq!(rates.instances_for(&dag, k), 3, "hints apply to sinks too");
+        let inst = InstanceSet::plan(&dag);
+        assert_eq!(inst.len(), 10);
+        assert_eq!(inst.user_instance_count(&dag), 5);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub struct TaskSpec {
     selectivity: f64,
     stateful: bool,
     emit_rate_hz: f64,
+    parallelism: Option<usize>,
 }
 
 impl TaskSpec {
@@ -77,6 +78,7 @@ impl TaskSpec {
             selectivity: 1.0,
             stateful: false,
             emit_rate_hz: rate_hz,
+            parallelism: None,
         }
     }
 
@@ -90,6 +92,7 @@ impl TaskSpec {
             selectivity: 1.0,
             stateful: true,
             emit_rate_hz: 0.0,
+            parallelism: None,
         }
     }
 
@@ -102,6 +105,7 @@ impl TaskSpec {
             selectivity: 1.0,
             stateful: false,
             emit_rate_hz: 0.0,
+            parallelism: None,
         }
     }
 
@@ -128,6 +132,22 @@ impl TaskSpec {
     /// Marks the task stateless (its state is not checkpointed).
     pub fn stateless(mut self) -> Self {
         self.stateful = false;
+        self
+    }
+
+    /// Overrides the rate-derived instance count for this task: exactly
+    /// `instances` data-parallel instances are planned, regardless of the
+    /// 8 ev/s provisioning rule. Applies to every kind — including sinks,
+    /// whose rate rule pins them to a single instance — and is what the
+    /// scaled wave-latency workloads use to grow a dataflow's width
+    /// without touching its rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is zero.
+    pub fn with_parallelism(mut self, instances: usize) -> Self {
+        assert!(instances > 0, "a task needs at least one instance");
+        self.parallelism = Some(instances);
         self
     }
 
@@ -159,6 +179,12 @@ impl TaskSpec {
     /// Source emit rate in events per second (zero for non-sources).
     pub fn emit_rate_hz(&self) -> f64 {
         self.emit_rate_hz
+    }
+
+    /// The explicit instance-count override, if one was set with
+    /// [`with_parallelism`](Self::with_parallelism).
+    pub fn parallelism_hint(&self) -> Option<usize> {
+        self.parallelism
     }
 
     /// Maximum sustainable input rate for one instance of this task
@@ -210,6 +236,21 @@ mod tests {
         assert_eq!(t.capacity_hz(), 20.0);
         assert_eq!(t.selectivity(), 2.0);
         assert!(!t.is_stateful());
+    }
+
+    #[test]
+    fn parallelism_hint_round_trips() {
+        assert_eq!(TaskSpec::operator("t").parallelism_hint(), None);
+        let t = TaskSpec::operator("t").with_parallelism(6);
+        assert_eq!(t.parallelism_hint(), Some(6));
+        let sink = TaskSpec::sink("sink").with_parallelism(3);
+        assert_eq!(sink.parallelism_hint(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn rejects_zero_parallelism() {
+        let _ = TaskSpec::operator("bad").with_parallelism(0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! USAGE:
 //!   flowmig [--dag NAME] [--strategy DSM|DCR|CCR] [--direction in|out]
 //!           [--seed N] [--request-secs N] [--horizon-secs N]
+//!           [--shards N] [--parallel-waves FANOUT]
 //!           [--csv throughput|latency]
 //! ```
 //!
@@ -21,14 +22,18 @@ struct Args {
     seed: u64,
     request_secs: u64,
     horizon_secs: u64,
+    shards: Option<usize>,
+    parallel_waves: Option<usize>,
     csv: Option<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: flowmig [--dag linear|diamond|star|grid|traffic|linearN] \
+        "usage: flowmig [--dag linear|diamond|star|grid|traffic|linearN|gridxN] \
          [--strategy DSM|DCR|CCR] [--direction in|out] [--seed N] \
-         [--request-secs N] [--horizon-secs N] [--csv throughput|latency]"
+         [--request-secs N] [--horizon-secs N] [--shards N] \
+         [--parallel-waves FANOUT (0 = engine default window)] \
+         [--csv throughput|latency]"
     );
     ExitCode::FAILURE
 }
@@ -41,6 +46,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         request_secs: 180,
         horizon_secs: 720,
+        shards: None,
+        parallel_waves: None,
         csv: None,
     };
     let mut it = std::env::args().skip(1);
@@ -63,6 +70,17 @@ fn parse_args() -> Result<Args, String> {
             "--horizon-secs" => {
                 args.horizon_secs = value()?.parse().map_err(|e| format!("bad time: {e}"))?
             }
+            "--shards" => {
+                let n: usize = value()?.parse().map_err(|e| format!("bad shard count: {e}"))?;
+                if n == 0 {
+                    return Err("a sharded store needs at least one shard".to_owned());
+                }
+                args.shards = Some(n);
+            }
+            "--parallel-waves" => {
+                args.parallel_waves =
+                    Some(value()?.parse().map_err(|e| format!("bad fan-out: {e}"))?)
+            }
             "--csv" => args.csv = Some(value()?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -78,11 +96,19 @@ fn dag_by_name(name: &str) -> Option<Dataflow> {
         "star" => Some(library::star()),
         "grid" => Some(library::grid()),
         "traffic" => Some(library::traffic()),
-        _ => name
-            .strip_prefix("linear")
-            .and_then(|n| n.parse::<usize>().ok())
-            .filter(|&n| n > 0 && n <= 500)
-            .map(library::linear_n),
+        _ => {
+            if let Some(n) = name.strip_prefix("gridx") {
+                return n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0 && n <= 64)
+                    .map(library::grid_scaled);
+            }
+            name.strip_prefix("linear")
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| n > 0 && n <= 500)
+                .map(library::linear_n)
+        }
     }
 }
 
@@ -100,14 +126,27 @@ fn main() -> ExitCode {
         eprintln!("error: unknown dataflow `{}`", args.dag);
         return usage();
     };
-    let controller = MigrationController::new()
+    let mut controller = MigrationController::new()
         .with_request_at(SimTime::from_secs(args.request_secs))
         .with_horizon(SimTime::from_secs(args.horizon_secs))
         .with_seed(args.seed);
+    if let Some(shards) = args.shards {
+        controller = controller.with_store_shards(shards);
+    }
+    let par = args.parallel_waves;
     let result = match args.strategy.as_str() {
-        "DSM" => controller.run(&dag, &Dsm::new(), args.direction),
-        "DCR" => controller.run(&dag, &Dcr::new(), args.direction),
-        "CCR" => controller.run(&dag, &Ccr::new(), args.direction),
+        "DSM" => {
+            let s = par.map_or_else(Dsm::new, |f| Dsm::new().with_parallel_waves(f));
+            controller.run(&dag, &s, args.direction)
+        }
+        "DCR" => {
+            let s = par.map_or_else(Dcr::new, |f| Dcr::new().with_parallel_waves(f));
+            controller.run(&dag, &s, args.direction)
+        }
+        "CCR" => {
+            let s = par.map_or_else(Ccr::new, |f| Ccr::new().with_parallel_waves(f));
+            controller.run(&dag, &s, args.direction)
+        }
         other => {
             eprintln!("error: unknown strategy `{other}`");
             return usage();

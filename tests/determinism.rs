@@ -51,6 +51,62 @@ fn same_seed_gives_identical_trace_and_stats_for_all_strategies_and_dags() {
     }
 }
 
+/// The same three strategies with per-shard parallel COMMIT/INIT waves
+/// (`WaveRouting::Parallel`, window 4 — DSM keeps its sequential periodic
+/// PREPARE, DCR its sequential drain, CCR its broadcast capture).
+fn parallel_strategies() -> Vec<Box<dyn MigrationStrategy>> {
+    vec![
+        Box::new(Dsm::new().with_parallel_waves(4)),
+        Box::new(Dcr::new().with_parallel_waves(4)),
+        Box::new(Ccr::new().with_parallel_waves(4)),
+    ]
+}
+
+#[test]
+fn parallel_waves_are_seed_deterministic_on_all_dags() {
+    // The bounded-fan-out windows advance from completion events, so any
+    // ordering nondeterminism in the per-shard queues would diverge the
+    // traces immediately.
+    for dag in dags() {
+        for strategy in parallel_strategies() {
+            let first = controller(7)
+                .run(&dag, strategy.as_ref(), ScaleDirection::In)
+                .expect("paper scenario placeable");
+            let second = controller(7)
+                .run(&dag, strategy.as_ref(), ScaleDirection::In)
+                .expect("paper scenario placeable");
+            let label = format!("parallel {} on {}", first.strategy, dag.name());
+            assert_eq!(first.stats, second.stats, "stats diverged: {label}");
+            assert_eq!(first.trace, second.trace, "trace diverged: {label}");
+            assert!(!first.trace.is_empty(), "empty trace would vacuously pass: {label}");
+        }
+    }
+}
+
+#[test]
+fn parallel_commit_completes_strictly_earlier_than_sequential_on_wide_grid() {
+    // Regression tripwire for the parallel-wave optimization itself:
+    // on gridx3 (48 wave participants ≥ 32) with the default 8-shard
+    // store, DCR's COMMIT phase must close strictly earlier in simulated
+    // time when fanned out per shard than when swept hop by hop.
+    let dag = library::grid_scaled(3);
+    let sequential =
+        controller(7).run(&dag, &Dcr::new(), ScaleDirection::In).expect("paper scenario placeable");
+    let parallel = controller(7)
+        .run(&dag, &Dcr::new().with_parallel_waves(4), ScaleDirection::In)
+        .expect("paper scenario placeable");
+    assert!(sequential.completed && parallel.completed);
+    let seq_commit = sequential.metrics.commit_wave.expect("sequential commit span");
+    let par_commit = parallel.metrics.commit_wave.expect("parallel commit span");
+    assert!(
+        par_commit < seq_commit,
+        "parallel COMMIT ({par_commit:?}) must beat sequential ({seq_commit:?}) at 48 instances"
+    );
+    // Reliability is untouched by the rerouting.
+    assert_eq!(parallel.stats.events_dropped, 0);
+    assert_eq!(parallel.stats.replayed_roots, 0);
+}
+
 #[test]
 fn different_seeds_actually_diverge() {
     // Sanity check that the equality above is meaningful: jitter draws
