@@ -14,17 +14,24 @@
 //! spawn (which is identical for both routings and would drown the
 //! comparison in a fixed 5–35 s draw).
 //!
+//! `CcrPipelined` ("pipelined" rows) additionally routes PREPARE through
+//! the store-shard windows with the fan-out **derived** from the shard
+//! count (`Parallel { fan_out: 0 }`), the first strategy expressible only
+//! on the plan IR.
+//!
 //! Environment:
 //!
 //! * `BENCH_MIGRATION_JSON=path` writes a machine-readable summary (CI
 //!   uploads it as `BENCH_migration.json`);
-//! * exits non-zero on either perf-regression tripwire: parallel COMMIT
-//!   not faster than sequential at the largest size (192 instances), or
-//!   commit+restore speedup below 3x at 96 instances / 8 shards.
+//! * exits non-zero if the plan validator rejects any built-in registry
+//!   strategy's plan (the declarative IR's CI gate), or on either
+//!   perf-regression tripwire: parallel COMMIT not faster than sequential
+//!   at the largest size (192 instances), or commit+restore speedup below
+//!   3x at 96 instances / 8 shards.
 
 use flowmig_bench::{banner, BENCH_SEEDS};
 use flowmig_cluster::ScaleDirection;
-use flowmig_core::{Ccr, Dcr, MigrationController, MigrationStrategy};
+use flowmig_core::{strategies, Ccr, CcrPipelined, Dcr, MigrationController, MigrationStrategy};
 use flowmig_engine::EngineConfig;
 use flowmig_sim::{SimDuration, SimTime};
 use flowmig_topology::library;
@@ -153,11 +160,28 @@ fn find<'a>(
         .expect("cell measured")
 }
 
+/// CI gate for the plan IR: every registry strategy's plan must pass the
+/// validator, or the bench step fails.
+fn validate_built_in_plans() {
+    for info in strategies() {
+        let strategy = info.build_default();
+        if let Err(err) = strategy.plan().validate() {
+            eprintln!(
+                "PLAN VALIDATION FAILURE: built-in strategy `{}` ({}) rejected: {err}",
+                info.cli_name, info.paper_name
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("plan validation: all {} registry strategies accepted", strategies().len());
+}
+
 fn main() {
     banner(
         "migration_latency",
-        "simulated COMMIT+INIT wave time, sequential vs per-shard parallel",
+        "simulated COMMIT+INIT wave time, sequential vs per-shard parallel vs pipelined",
     );
+    validate_built_in_plans();
     let mut cells: Vec<Cell> = Vec::new();
     for &width in &WIDTHS {
         for &shards in &SHARDS {
@@ -175,6 +199,8 @@ fn main() {
                 &Ccr::new().with_parallel_waves(FAN_OUT),
                 "parallel",
             ));
+            // Fan-out derived from the shard count (0), PREPARE included.
+            cells.push(measure(width, shards, &CcrPipelined::new(), "pipelined"));
         }
     }
 
@@ -218,6 +244,22 @@ fn main() {
         assert!(
             speedup >= 3.0,
             "{strategy}: parallel waves must be >= 3x faster at 96 instances / 8 shards, got {speedup:.2}x"
+        );
+    }
+
+    // CcrPipelined vs classic CCR at the same point: the derived-window
+    // pipelined plan against both the sequential sweep and the hand-tuned
+    // parallel variant.
+    {
+        let seq = find(&cells, 6, 8, "CCR", "sequential");
+        let par = find(&cells, 6, 8, "CCR", "parallel");
+        let pip = find(&cells, 6, 8, "CCR-P", "pipelined");
+        println!(
+            "CCR-P @ 96 instances, 8 shards: commit+restore {:.2} ms \
+             (CCR sequential {:.2} ms, CCR parallel fan_out={FAN_OUT} {:.2} ms)",
+            pip.total_ms(),
+            seq.total_ms(),
+            par.total_ms(),
         );
     }
 

@@ -16,9 +16,10 @@
 //! up. Intuitively, CCR overlaps DCR's drain time with the post-rebalance
 //! refill time (§3.2).
 
-use crate::phased::{PhasedCoordinator, PhasedRouting};
+use crate::plan::{MigrationPlan, PausePolicy, PlanPhase, WaveKind};
 use crate::strategy::{MigrationStrategy, StrategyKind};
-use flowmig_engine::{resend, MigrationCoordinator, ProtocolConfig, WaveRouting};
+use flowmig_engine::{resend, ProtocolConfig, WaveRouting};
+use flowmig_metrics::MigrationPhase;
 use flowmig_sim::SimDuration;
 
 /// The CCR strategy.
@@ -114,16 +115,30 @@ impl MigrationStrategy for Ccr {
         StrategyKind::Ccr
     }
 
-    fn protocol(&self) -> ProtocolConfig {
-        ProtocolConfig::ccr()
-    }
-
-    fn coordinator(&self) -> Box<dyn MigrationCoordinator> {
-        let mut routing = PhasedRouting::classic(WaveRouting::Broadcast, WaveRouting::Broadcast);
-        if let Some(fan_out) = self.parallel_fan_out {
-            routing = routing.with_parallel_waves(fan_out);
-        }
-        Box::new(PhasedCoordinator::new("CCR", routing, self.init_resend, self.wave_timeout))
+    /// CCR as data: the same skeleton as DCR with PREPARE re-routed
+    /// broadcast (capture, not drain — legal because the protocol sets
+    /// `capture_on_prepare`) and INIT broadcast (each task resumes its
+    /// captured events independently).
+    fn plan(&self) -> MigrationPlan {
+        let (commit, init) = match self.parallel_fan_out {
+            Some(fan_out) => (WaveRouting::Parallel { fan_out }, WaveRouting::Parallel { fan_out }),
+            None => (WaveRouting::Sequential, WaveRouting::Broadcast),
+        };
+        let mut prepare = PlanPhase::wave(WaveKind::Prepare, WaveRouting::Broadcast)
+            .scoped(MigrationPhase::Drain);
+        prepare.timeout = self.wave_timeout;
+        let mut commit = PlanPhase::wave(WaveKind::Commit, commit).scoped(MigrationPhase::Commit);
+        commit.timeout = self.wave_timeout;
+        MigrationPlan::new("CCR", ProtocolConfig::ccr())
+            .pause(PausePolicy::UntilComplete)
+            .phase(prepare)
+            .phase(commit)
+            .phase(
+                PlanPhase::wave(WaveKind::Init, init)
+                    .after_rebalance()
+                    .scoped(MigrationPhase::Restore)
+                    .with_resend(self.init_resend),
+            )
     }
 }
 
@@ -160,5 +175,26 @@ mod tests {
     fn wave_timeout_builder() {
         let c = Ccr::new().with_wave_timeout(SimDuration::from_secs(15));
         assert_eq!(c.wave_timeout(), Some(SimDuration::from_secs(15)));
+    }
+
+    #[test]
+    fn plan_routes_capture_broadcast_and_keeps_it_under_parallel_waves() {
+        let classic: Vec<WaveRouting> =
+            Ccr::new().plan().phases().iter().map(|p| p.routing).collect();
+        assert_eq!(
+            classic,
+            vec![WaveRouting::Broadcast, WaveRouting::Sequential, WaveRouting::Broadcast]
+        );
+        let parallel: Vec<WaveRouting> =
+            Ccr::new().with_parallel_waves(4).plan().phases().iter().map(|p| p.routing).collect();
+        assert_eq!(
+            parallel,
+            vec![
+                WaveRouting::Broadcast, // capture is not a store operation
+                WaveRouting::Parallel { fan_out: 4 },
+                WaveRouting::Parallel { fan_out: 4 },
+            ]
+        );
+        assert!(Ccr::new().plan().validate().is_ok());
     }
 }

@@ -88,15 +88,19 @@ impl MigrationController {
         self
     }
 
-    /// Overrides the engine's default per-shard window for parallel
-    /// checkpoint waves ([`flowmig_engine::EngineConfig::wave_fan_out`]):
-    /// strategies built with `with_parallel_waves(0)` defer to this value,
-    /// making the fan-out a deployment knob rather than a strategy
-    /// constant.
+    /// Pins the engine's per-shard window for parallel checkpoint waves
+    /// ([`flowmig_engine::EngineConfig::wave_fan_out`]): strategies built
+    /// with `with_parallel_waves(0)` (and [`crate::CcrPipelined`]'s
+    /// derived default) defer to this value. Left unset, the engine
+    /// derives the window from the store topology instead —
+    /// `ceil(participants / store_shards)`
+    /// ([`flowmig_engine::EngineConfig::derived_fan_out`]) — so this knob
+    /// exists for deployments whose store pipelines less than its fair
+    /// share.
     ///
     /// # Panics
     ///
-    /// Panics if `fan_out` is zero.
+    /// Panics if `fan_out` is zero (leave the knob unset to derive).
     pub fn with_wave_fan_out(mut self, fan_out: usize) -> Self {
         assert!(fan_out > 0, "a parallel wave needs a window of at least 1");
         self.engine_config.wave_fan_out = fan_out;
@@ -219,6 +223,27 @@ mod tests {
         assert!(out.stats.events_captured > 0);
         assert_eq!(out.stats.pending_replayed, out.stats.events_captured as u64);
         assert!(out.metrics.commit_wave.is_some(), "commit phase span recorded");
+    }
+
+    #[test]
+    fn ccr_pipelined_runs_end_to_end_with_derived_fan_out() {
+        // The plan-only strategy: every wave store-paced, window derived
+        // from the shard count (no fan-out configured anywhere). Same
+        // reliability bar as classic CCR: nothing dropped, nothing
+        // replayed, every captured event resumed.
+        let c = MigrationController::new()
+            .with_request_at(SimTime::from_secs(60))
+            .with_horizon(SimTime::from_secs(400))
+            .with_store_shards(8);
+        let out = c.run(&library::grid(), &crate::CcrPipelined::new(), ScaleDirection::In).unwrap();
+        assert!(out.completed, "pipelined migration completes");
+        assert_eq!(out.strategy, "CCR-P");
+        assert_eq!(out.stats.events_dropped, 0, "pipelined CCR loses nothing");
+        assert_eq!(out.stats.replayed_roots, 0);
+        assert!(out.stats.events_captured > 0, "store-paced PREPARE still captures");
+        assert_eq!(out.stats.pending_replayed, out.stats.events_captured as u64);
+        assert!(out.metrics.commit_wave.is_some());
+        assert!(out.metrics.restore_wave.is_some());
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! cost is the drain time, proportional to the dataflow's critical path and
 //! input rate (§5.1 — see the `drain_time` bench).
 
-use crate::phased::{PhasedCoordinator, PhasedRouting};
+use crate::plan::{MigrationPlan, PausePolicy, PlanPhase, WaveKind};
 use crate::strategy::{MigrationStrategy, StrategyKind};
-use flowmig_engine::{resend, MigrationCoordinator, ProtocolConfig, WaveRouting};
+use flowmig_engine::{resend, ProtocolConfig, WaveRouting};
+use flowmig_metrics::MigrationPhase;
 use flowmig_sim::SimDuration;
 
 /// The DCR strategy.
@@ -111,16 +112,34 @@ impl MigrationStrategy for Dcr {
         StrategyKind::Dcr
     }
 
-    fn protocol(&self) -> ProtocolConfig {
-        ProtocolConfig::dcr()
-    }
-
-    fn coordinator(&self) -> Box<dyn MigrationCoordinator> {
-        let mut routing = PhasedRouting::classic(WaveRouting::Sequential, WaveRouting::Sequential);
-        if let Some(fan_out) = self.parallel_fan_out {
-            routing = routing.with_parallel_waves(fan_out);
-        }
-        Box::new(PhasedCoordinator::new("DCR", routing, self.init_resend, self.wave_timeout))
+    /// DCR as data: pause for the duration, sequential PREPARE rearguard
+    /// (the drain), store-bound COMMIT, rebalance, INIT re-sent every
+    /// second. COMMIT and INIT switch to per-shard parallel under
+    /// [`with_parallel_waves`](Self::with_parallel_waves); PREPARE never
+    /// does — it *is* the drain and must keep sweeping behind the
+    /// in-flight events (the plan validator enforces this for any
+    /// non-capturing protocol).
+    fn plan(&self) -> MigrationPlan {
+        let store_wave = match self.parallel_fan_out {
+            Some(fan_out) => WaveRouting::Parallel { fan_out },
+            None => WaveRouting::Sequential,
+        };
+        let mut prepare = PlanPhase::wave(WaveKind::Prepare, WaveRouting::Sequential)
+            .scoped(MigrationPhase::Drain);
+        prepare.timeout = self.wave_timeout;
+        let mut commit =
+            PlanPhase::wave(WaveKind::Commit, store_wave).scoped(MigrationPhase::Commit);
+        commit.timeout = self.wave_timeout;
+        MigrationPlan::new("DCR", ProtocolConfig::dcr())
+            .pause(PausePolicy::UntilComplete)
+            .phase(prepare)
+            .phase(commit)
+            .phase(
+                PlanPhase::wave(WaveKind::Init, store_wave)
+                    .after_rebalance()
+                    .scoped(MigrationPhase::Restore)
+                    .with_resend(self.init_resend),
+            )
     }
 }
 
@@ -158,5 +177,30 @@ mod tests {
         let p = Dcr::new().protocol();
         assert!(!p.capture_on_prepare && !p.persist_pending);
         assert!(!p.periodic_checkpoint);
+    }
+
+    #[test]
+    fn plan_keeps_prepare_sequential_even_with_parallel_waves() {
+        let plan = Dcr::new().with_parallel_waves(8).plan();
+        let routing: Vec<WaveRouting> = plan.phases().iter().map(|p| p.routing).collect();
+        assert_eq!(
+            routing,
+            vec![
+                WaveRouting::Sequential, // the drain rearguard
+                WaveRouting::Parallel { fan_out: 8 },
+                WaveRouting::Parallel { fan_out: 8 },
+            ]
+        );
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn wave_timeouts_flow_into_the_checkpoint_phases() {
+        let plan = Dcr::new().with_wave_timeout(SimDuration::from_secs(20)).plan();
+        assert_eq!(plan.phases()[0].timeout, Some(SimDuration::from_secs(20)));
+        assert_eq!(plan.phases()[1].timeout, Some(SimDuration::from_secs(20)));
+        assert_eq!(plan.phases()[2].timeout, None, "INIT has no rollback deadline");
+        let open_ended = Dcr::new().without_wave_timeout().plan();
+        assert!(open_ended.phases().iter().all(|p| p.timeout.is_none()));
     }
 }

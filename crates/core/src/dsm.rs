@@ -9,13 +9,11 @@
 //! ack-timeout, which is why DSM's restore time grows in ≈30 s jumps
 //! (§5.1).
 
+use crate::plan::{MigrationPlan, PausePolicy, PeriodicCheckpoint, PlanPhase, WaveKind};
 use crate::strategy::{MigrationStrategy, StrategyKind};
-use flowmig_engine::{resend, EngineCtl, MigrationCoordinator, ProtocolConfig, WaveRouting};
-use flowmig_metrics::{ControlKind, MigrationPhase};
+use flowmig_engine::{resend, ProtocolConfig, WaveRouting};
+use flowmig_metrics::MigrationPhase;
 use flowmig_sim::SimDuration;
-
-/// Timer token for the optional user pause timeout.
-const PAUSE_TIMEOUT_TOKEN: u32 = 1;
 
 /// The DSM strategy.
 ///
@@ -84,153 +82,32 @@ impl MigrationStrategy for Dsm {
         StrategyKind::Dsm
     }
 
-    fn protocol(&self) -> ProtocolConfig {
-        ProtocolConfig::dsm()
-    }
-
-    fn coordinator(&self) -> Box<dyn MigrationCoordinator> {
+    /// DSM as data: no checkpoint waves of its own — the migration is just
+    /// kill (optionally after a timed pause) and a post-rebalance INIT
+    /// re-sent on the 30 s ack-timeout cadence, with durability supplied
+    /// by the always-on periodic PREPARE→COMMIT loop.
+    fn plan(&self) -> MigrationPlan {
         let store_wave = match self.parallel_fan_out {
             Some(fan_out) => WaveRouting::Parallel { fan_out },
             None => WaveRouting::Sequential,
         };
-        Box::new(DsmCoordinator {
-            state: DsmState::Idle,
-            pause_timeout: self.pause_timeout,
-            paused: false,
-            store_wave,
-        })
-    }
-}
-
-/// DSM coordinator states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DsmState {
-    /// Normal operation; periodic checkpoints run.
-    Idle,
-    /// A periodic PREPARE wave is sweeping.
-    PeriodicPrepare,
-    /// A periodic COMMIT wave is sweeping.
-    PeriodicCommit,
-    /// A stalled periodic wave is being recovered via ROLLBACK (Storm's
-    /// checkpoint-spout recovery; re-initializes crashed instances from
-    /// the last committed state).
-    PeriodicRecover,
-    /// Waiting out the user pause timeout before the kill.
-    Pausing,
-    /// Rebalance command in flight.
-    Rebalancing,
-    /// INIT waves restoring state (with 30 s-timeout retries).
-    Restoring,
-    /// Migration done; back to periodic checkpointing.
-    Done,
-}
-
-#[derive(Debug)]
-struct DsmCoordinator {
-    state: DsmState,
-    pause_timeout: SimDuration,
-    paused: bool,
-    /// Routing of the store-bound waves (COMMIT, INIT): sequential by
-    /// default, per-shard parallel under `with_parallel_waves`.
-    store_wave: WaveRouting,
-}
-
-impl MigrationCoordinator for DsmCoordinator {
-    fn name(&self) -> &'static str {
-        "DSM"
-    }
-
-    fn on_checkpoint_timer(&mut self, ctl: &mut EngineCtl<'_, '_>) {
-        // Periodic 30 s checkpointing, §2 — skipped while migrating.
-        match self.state {
-            DsmState::Idle | DsmState::Done => {
-                self.state = DsmState::PeriodicPrepare;
-                ctl.reset_wave(ControlKind::Prepare);
-                ctl.start_wave(ControlKind::Prepare, WaveRouting::Sequential);
-            }
-            DsmState::PeriodicPrepare | DsmState::PeriodicCommit | DsmState::PeriodicRecover => {
-                // The previous wave stalled (e.g. an executor crashed
-                // mid-sweep): recover with a ROLLBACK broadcast, which also
-                // re-initializes returned instances from the last commit.
-                self.state = DsmState::PeriodicRecover;
-                ctl.reset_wave(ControlKind::Rollback);
-                ctl.start_wave(ControlKind::Rollback, WaveRouting::Broadcast);
-            }
-            _ => {}
-        }
-    }
-
-    fn on_migration_requested(&mut self, ctl: &mut EngineCtl<'_, '_>) {
-        if self.pause_timeout.is_zero() {
-            self.state = DsmState::Rebalancing;
-            ctl.start_rebalance();
+        let pause = if self.pause_timeout.is_zero() {
+            PausePolicy::None
         } else {
-            self.state = DsmState::Pausing;
-            self.paused = true;
-            ctl.phase_started(MigrationPhase::Pause);
-            ctl.pause_sources();
-            ctl.schedule_timer(PAUSE_TIMEOUT_TOKEN, self.pause_timeout);
-        }
-    }
-
-    fn on_timer(&mut self, token: u32, ctl: &mut EngineCtl<'_, '_>) {
-        if token == PAUSE_TIMEOUT_TOKEN && self.state == DsmState::Pausing {
             // §2: after the timeout the kill happens; the topology is
             // reactivated (sources resume) once the rebalance command
             // completes, as with Storm's deactivate→rebalance→activate.
-            self.state = DsmState::Rebalancing;
-            ctl.start_rebalance();
-        }
-    }
-
-    fn on_rebalance_complete(&mut self, ctl: &mut EngineCtl<'_, '_>) {
-        if self.state != DsmState::Rebalancing {
-            return;
-        }
-        if self.paused {
-            self.paused = false;
-            ctl.unpause_sources();
-            ctl.phase_ended(MigrationPhase::Pause);
-        }
-        self.state = DsmState::Restoring;
-        ctl.phase_started(MigrationPhase::Restore);
-        ctl.reset_wave(ControlKind::Init);
-        ctl.start_wave(ControlKind::Init, self.store_wave);
-        ctl.schedule_resend(ControlKind::Init, resend::ACK_TIMEOUT);
-    }
-
-    fn on_resend_timer(&mut self, kind: ControlKind, ctl: &mut EngineCtl<'_, '_>) {
-        if kind == ControlKind::Init
-            && self.state == DsmState::Restoring
-            && !ctl.wave_complete(ControlKind::Init)
-        {
-            // The earlier INIT wave timed out against tasks that were not
-            // active yet; Storm re-sends after the 30 s acking timeout.
-            ctl.start_wave(ControlKind::Init, self.store_wave);
-            ctl.schedule_resend(ControlKind::Init, resend::ACK_TIMEOUT);
-        }
-    }
-
-    fn on_wave_complete(&mut self, kind: ControlKind, ctl: &mut EngineCtl<'_, '_>) {
-        match (self.state, kind) {
-            (DsmState::PeriodicPrepare, ControlKind::Prepare) => {
-                self.state = DsmState::PeriodicCommit;
-                ctl.reset_wave(ControlKind::Commit);
-                ctl.start_wave(ControlKind::Commit, self.store_wave);
-            }
-            (DsmState::PeriodicCommit, ControlKind::Commit) => {
-                self.state = DsmState::Idle;
-            }
-            (DsmState::PeriodicRecover, ControlKind::Rollback) => {
-                self.state = DsmState::Idle;
-            }
-            (DsmState::Restoring, ControlKind::Init) => {
-                ctl.phase_ended(MigrationPhase::Restore);
-                ctl.complete_migration();
-                self.state = DsmState::Done;
-            }
-            _ => {} // stale wave from an interrupted periodic checkpoint
-        }
+            PausePolicy::Timed(self.pause_timeout)
+        };
+        MigrationPlan::new("DSM", ProtocolConfig::dsm())
+            .pause(pause)
+            .phase(
+                PlanPhase::wave(WaveKind::Init, store_wave)
+                    .after_rebalance()
+                    .scoped(MigrationPhase::Restore)
+                    .with_resend(resend::ACK_TIMEOUT),
+            )
+            .periodic(PeriodicCheckpoint { commit_routing: store_wave })
     }
 }
 
@@ -262,5 +139,22 @@ mod tests {
     fn parallel_waves_builder() {
         assert_eq!(Dsm::new().parallel_fan_out(), None);
         assert_eq!(Dsm::new().with_parallel_waves(2).parallel_fan_out(), Some(2));
+    }
+
+    #[test]
+    fn plan_is_restore_only_with_periodic_durability() {
+        let plan = Dsm::new().plan();
+        assert_eq!(plan.phases().len(), 1, "no JIT checkpoint waves");
+        assert_eq!(plan.phases()[0].wave, WaveKind::Init);
+        assert_eq!(plan.phases()[0].resend, Some(resend::ACK_TIMEOUT));
+        assert!(plan.clone().validate().is_ok(), "periodic section supplies durability");
+    }
+
+    #[test]
+    fn pause_timeout_becomes_a_timed_pause() {
+        let timed = Dsm::with_pause_timeout(SimDuration::from_secs(10)).plan();
+        assert_eq!(timed.pause_policy(), PausePolicy::Timed(SimDuration::from_secs(10)));
+        assert!(timed.validate().is_ok());
+        assert_eq!(Dsm::new().plan().pause_policy(), PausePolicy::None);
     }
 }

@@ -14,9 +14,17 @@
 //! * [`Ccr`] — *Capture-Checkpoint-Resume* (§3.2): pause, capture in-flight
 //!   events in place via a broadcast PREPARE, persist state + pending
 //!   lists, rebalance, resume captured events where they were.
+//! * [`CcrPipelined`] — CCR with every wave (including PREPARE) fanned out
+//!   per store shard and the window derived from the shard count — a
+//!   hybrid expressible only on the plan IR.
 //!
-//! All three implement [`MigrationStrategy`]; [`MigrationController`] runs
-//! the paper's full experiment protocol in one call.
+//! Strategies are **data**: each one is a small builder returning a
+//! declarative [`MigrationPlan`] (see [`plan`] for the IR and a worked
+//! write-your-own example), validated by [`PlanValidator`] and interpreted
+//! by the generic [`PlanCoordinator`]. All implement [`MigrationStrategy`];
+//! [`MigrationController`] runs the paper's full experiment protocol in
+//! one call, and [`strategies`] is the single registry the CLI, sweeps and
+//! benches enumerate.
 //!
 //! # Examples
 //!
@@ -43,14 +51,24 @@
 #![warn(missing_docs)]
 
 mod ccr;
+mod ccr_pipelined;
 mod controller;
 mod dcr;
 mod dsm;
-mod phased;
+mod interp;
+pub mod plan;
 mod strategy;
 
 pub use ccr::Ccr;
+pub use ccr_pipelined::CcrPipelined;
 pub use controller::{MigrationController, MigrationOutcome};
 pub use dcr::Dcr;
 pub use dsm::Dsm;
-pub use strategy::{MigrationStrategy, StrategyKind};
+pub use interp::PlanCoordinator;
+pub use plan::{
+    Barrier, MigrationPlan, PausePolicy, PeriodicCheckpoint, PlanError, PlanPhase, PlanValidator,
+    TimeoutAction, ValidPlan, WaveKind,
+};
+pub use strategy::{
+    default_strategy, strategies, strategy_named, MigrationStrategy, StrategyInfo, StrategyKind,
+};

@@ -86,11 +86,14 @@ pub struct EngineConfig {
     /// hash to shards by index; per-shard counters price COMMIT waves).
     /// Must be at least 1.
     pub store_shards: usize,
-    /// Default per-shard concurrency window for
+    /// Per-shard concurrency window for
     /// [`WaveRouting::Parallel`](crate::WaveRouting::Parallel) waves: how
     /// many in-flight persist/fetch operations one store shard serves at a
-    /// time when a strategy requests `Parallel { fan_out: 0 }`. Must be at
-    /// least 1.
+    /// time when a strategy requests `Parallel { fan_out: 0 }`. `0` (the
+    /// default) derives the window from the store topology instead —
+    /// `ceil(participants / store_shards)`, each shard's fair share of the
+    /// wave (see [`EngineConfig::derived_fan_out`]) — so deployments that
+    /// size their store correctly need no tuning.
     pub wave_fan_out: usize,
     /// Maximum unacked roots outstanding at the source before new emissions
     /// are throttled (Storm's `max.spout.pending`; only with acking).
@@ -132,7 +135,7 @@ impl Default for EngineConfig {
             net_latency_remote: SimDuration::from_micros(1_500),
             store: StoreLatencyModel::default(),
             store_shards: crate::store::ShardedStateStore::DEFAULT_SHARDS,
-            wave_fan_out: Self::DEFAULT_WAVE_FAN_OUT,
+            wave_fan_out: 0,
             max_spout_pending: 60,
             source_drain_interval: SimDuration::from_millis(10),
             max_source_backlog: 100,
@@ -145,9 +148,15 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    /// Default per-shard window for parallel checkpoint waves: a Redis-like
-    /// shard comfortably pipelines a handful of in-flight commands.
-    pub const DEFAULT_WAVE_FAN_OUT: usize = 4;
+    /// The per-shard window a `Parallel { fan_out: 0 }` wave gets when
+    /// [`wave_fan_out`](Self::wave_fan_out) is also 0 (derive): each
+    /// shard's fair share of the wave, `ceil(participants / store_shards)`,
+    /// never below 1. A shard then pipelines exactly the instances hashed
+    /// to it, so the wave needs ~one store service epoch per window slot
+    /// and no fixed engine constant has to guess the deployment's shape.
+    pub fn derived_fan_out(&self, participants: usize) -> usize {
+        participants.div_ceil(self.store_shards.max(1)).max(1)
+    }
 
     /// Draws a jittered rebalance-command duration.
     pub fn rebalance_duration(&self, rng: &mut SimRng) -> SimDuration {
@@ -216,9 +225,32 @@ mod tests {
     }
 
     #[test]
-    fn wave_fan_out_default_is_positive() {
-        let cfg = EngineConfig::default();
-        assert_eq!(cfg.wave_fan_out, EngineConfig::DEFAULT_WAVE_FAN_OUT);
-        assert!(cfg.wave_fan_out >= 1);
+    fn wave_fan_out_defaults_to_derived() {
+        // 0 means "derive from the store topology", not "window of zero".
+        assert_eq!(EngineConfig::default().wave_fan_out, 0);
+    }
+
+    #[test]
+    fn derived_fan_out_is_fair_share_of_shards() {
+        let cfg = EngineConfig { store_shards: 8, ..EngineConfig::default() };
+        assert_eq!(cfg.derived_fan_out(96), 12, "96 instances / 8 shards");
+        assert_eq!(cfg.derived_fan_out(97), 13, "ceil, not floor");
+        assert_eq!(cfg.derived_fan_out(8), 1);
+        assert_eq!(cfg.derived_fan_out(3), 1, "fewer instances than shards");
+    }
+
+    #[test]
+    fn derived_fan_out_never_zero() {
+        let cfg = EngineConfig { store_shards: 4, ..EngineConfig::default() };
+        assert_eq!(cfg.derived_fan_out(0), 1, "an empty wave still gets a window");
+        let one = EngineConfig { store_shards: 1, ..EngineConfig::default() };
+        assert_eq!(one.derived_fan_out(48), 48, "one shard serves the whole wave");
+    }
+
+    #[test]
+    fn derived_fan_out_shrinks_as_shards_grow() {
+        let few = EngineConfig { store_shards: 2, ..EngineConfig::default() };
+        let many = EngineConfig { store_shards: 16, ..EngineConfig::default() };
+        assert!(many.derived_fan_out(64) < few.derived_fan_out(64));
     }
 }

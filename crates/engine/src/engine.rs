@@ -10,7 +10,7 @@ use crate::acker::{AckOutcome, Acker};
 use crate::config::EngineConfig;
 use crate::event::{ControlEvent, ControlSender, DataEvent, Ev, QueueItem};
 use crate::instance::{InstanceRuntime, Work, WorkerStatus};
-use crate::protocol::{MigrationCoordinator, ProtocolConfig, WaveRouting};
+use crate::protocol::{MigrationCoordinator, ProtocolConfig, WaveDiscipline, WaveRouting};
 use crate::stats::EngineStats;
 use crate::store::{ShardedStateStore, StateBlob};
 use flowmig_cluster::{Assignment, ScalePlan, VmId, VmRole};
@@ -710,60 +710,56 @@ impl EngineModel {
         self.trackers.entry(kind).or_default();
         self.trace.record(TraceEvent::ControlWave { kind, wave, at: sched.now() });
 
-        match routing {
-            WaveRouting::Broadcast => {
-                let targets: Vec<usize> = {
-                    let mut t: Vec<usize> = self.participants.iter().map(|i| i.index()).collect();
-                    t.sort_unstable();
-                    t
-                };
-                // Broadcast is hub-and-spoke from the checkpoint source;
-                // sender identity is irrelevant (no alignment).
-                let from = ControlSender::CheckpointSource(TaskId::from_index(0));
-                let injections: Vec<(usize, ControlSender)> =
-                    targets.into_iter().map(|to| (to, from)).collect();
-                self.deliver_wave_batch(injections, kind, wave, SimDuration::ZERO, sched);
-            }
-            WaveRouting::Sequential => {
-                // Enter at root operator tasks: one injection per (source
-                // upstream, instance), impersonating that source for the
-                // alignment accounting.
-                let mut injections: Vec<(usize, ControlSender)> = Vec::new();
-                for src in self.dag.sources() {
-                    for &child in self.dag.downstream(src) {
-                        for &inst in self.instances.of_task(child) {
-                            injections.push((inst.index(), ControlSender::CheckpointSource(src)));
-                        }
+        // Wave setup is driven entirely by the routing's interpreted
+        // descriptor: entry point (DAG roots vs hub-and-spoke), window
+        // pacing, and rearguard guard are discipline flags, not
+        // strategy-specific branches.
+        let disc = routing.discipline();
+        let injections: Vec<(usize, ControlSender)> = if disc.edge_forwarded {
+            // Enter at root operator tasks: one injection per (source
+            // upstream, instance), impersonating that source for the
+            // alignment accounting.
+            let mut injections: Vec<(usize, ControlSender)> = Vec::new();
+            for src in self.dag.sources() {
+                for &child in self.dag.downstream(src) {
+                    for &inst in self.instances.of_task(child) {
+                        injections.push((inst.index(), ControlSender::CheckpointSource(src)));
                     }
                 }
-                self.deliver_wave_batch(injections, kind, wave, SimDuration::ZERO, sched);
             }
-            WaveRouting::Parallel { fan_out } => {
-                // Hub-and-spoke paced by the sharded store: every shard
-                // serves at most `fan_out` in-flight operations; the rest
-                // of the shard's instances queue in `parallel_pending` and
-                // are injected one by one as operations complete
+            injections
+        } else {
+            // Hub-and-spoke from the checkpoint source; sender identity is
+            // irrelevant (no alignment). Re-sent *windowed* waves target
+            // only the instances still missing (e.g. workers that dropped
+            // the INIT while starting): already-acked instances would ack
+            // as duplicates without advancing any window, wedging the
+            // shard behind them.
+            let acked = self.trackers.get(&kind).map(|t| &t.acked);
+            let mut targets: Vec<usize> = self
+                .participants
+                .iter()
+                .filter(|i| !(disc.windowed && acked.is_some_and(|a| a.contains(i))))
+                .map(|i| i.index())
+                .collect();
+            targets.sort_unstable();
+            let from = ControlSender::CheckpointSource(TaskId::from_index(0));
+            if disc.windowed {
+                // Paced by the sharded store: every shard serves at most
+                // `fan_out` in-flight operations; the rest of the shard's
+                // instances queue in `parallel_pending` and are injected
+                // one by one as operations complete
                 // (`advance_parallel_wave`). Shards progress concurrently,
                 // so wave time is the max over shards, not the sum.
-                let window = self.effective_fan_out(fan_out);
+                let window = self.effective_fan_out(match routing {
+                    WaveRouting::Parallel { fan_out } => fan_out,
+                    _ => 0,
+                });
                 let shard_count = self.store.shard_count();
                 let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); shard_count];
-                // Re-sent waves target only the instances still missing
-                // (e.g. workers that dropped the INIT while starting):
-                // already-acked instances would ack as duplicates without
-                // advancing any window, wedging the shard behind them.
-                let acked = self.trackers.get(&kind).map(|t| &t.acked);
-                let mut targets: Vec<usize> = self
-                    .participants
-                    .iter()
-                    .filter(|i| !acked.is_some_and(|a| a.contains(i)))
-                    .map(|i| i.index())
-                    .collect();
-                targets.sort_unstable();
                 for to in targets {
                     queues[self.store.shard_of(InstanceId::from_index(to))].push_back(to);
                 }
-                let from = ControlSender::CheckpointSource(TaskId::from_index(0));
                 let mut injections: Vec<(usize, ControlSender)> = Vec::new();
                 for queue in &mut queues {
                     for _ in 0..window {
@@ -774,21 +770,38 @@ impl EngineModel {
                     }
                 }
                 self.parallel_pending.insert(kind, queues);
-                // One remote-network epoch of head start keeps the wave a
-                // rearguard: every data event still in flight when the wave
-                // began (emissions have ceased by then for the strategies
-                // that parallelize COMMIT) reaches its queue first.
-                let guard = self.config.net_latency_remote;
-                self.deliver_wave_batch(injections, kind, wave, guard, sched);
+                injections
+            } else {
+                targets.into_iter().map(|to| (to, from)).collect()
             }
-        }
+        };
+        // One remote-network epoch of head start keeps a guarded wave a
+        // rearguard: every data event still in flight when the wave began
+        // (emissions have ceased by then for the strategies that window
+        // their waves) reaches its queue first.
+        let guard = if disc.guarded { self.config.net_latency_remote } else { SimDuration::ZERO };
+        self.deliver_wave_batch(injections, kind, wave, guard, sched);
         wave
     }
 
-    /// Resolves a wave's per-shard window: 0 defers to the engine default.
+    /// Resolves a wave's per-shard window: 0 defers to the engine knob,
+    /// and a zero knob derives the window from the store topology
+    /// (`ceil(participants / store_shards)` — see
+    /// [`EngineConfig::derived_fan_out`]).
     fn effective_fan_out(&self, fan_out: usize) -> usize {
-        let w = if fan_out == 0 { self.config.wave_fan_out } else { fan_out };
-        w.max(1)
+        if fan_out > 0 {
+            return fan_out;
+        }
+        if self.config.wave_fan_out > 0 {
+            return self.config.wave_fan_out;
+        }
+        self.config.derived_fan_out(self.participants.len())
+    }
+
+    /// The discipline of the most recent `kind` wave (sequential before
+    /// any wave of that kind has started).
+    fn wave_discipline(&self, kind: ControlKind) -> WaveDiscipline {
+        self.wave_routing.get(&kind).copied().unwrap_or(WaveRouting::Sequential).discipline()
     }
 
     /// After an instance concludes its part in a parallel `kind` wave,
@@ -801,7 +814,7 @@ impl EngineModel {
         instance: usize,
         sched: &mut Scheduler<'_, Ev>,
     ) {
-        if !matches!(self.wave_routing.get(&kind), Some(WaveRouting::Parallel { .. })) {
+        if !self.wave_discipline(kind).windowed {
             return;
         }
         let shard = self.store.shard_of(InstanceId::from_index(instance));
@@ -868,12 +881,8 @@ impl EngineModel {
                 if self.already_acked(ControlKind::Prepare, instance) {
                     return;
                 }
-                let routing = self
-                    .wave_routing
-                    .get(&ControlKind::Prepare)
-                    .copied()
-                    .unwrap_or(WaveRouting::Sequential);
-                if routing == WaveRouting::Sequential {
+                let disc = self.wave_discipline(ControlKind::Prepare);
+                if disc.aligned {
                     let seen = self.runtimes[instance].seen.record(ControlKind::Prepare, c.from);
                     if seen < self.expected_senders[instance] {
                         return; // waiting for the barrier to align
@@ -886,7 +895,7 @@ impl EngineModel {
                     let processed = self.runtimes[instance].processed;
                     self.runtimes[instance].prepared = Some(processed);
                 }
-                if routing == WaveRouting::Sequential {
+                if disc.edge_forwarded {
                     self.forward_control(instance, c, sched);
                 }
                 self.ack_control(instance, ControlKind::Prepare, sched);
@@ -898,12 +907,7 @@ impl EngineModel {
                 if self.already_acked(ControlKind::Commit, instance) {
                     return;
                 }
-                let routing = self
-                    .wave_routing
-                    .get(&ControlKind::Commit)
-                    .copied()
-                    .unwrap_or(WaveRouting::Sequential);
-                if routing == WaveRouting::Sequential {
+                if self.wave_discipline(ControlKind::Commit).aligned {
                     // Barrier alignment only applies to the hop-by-hop
                     // sweep; hub-and-spoke COMMITs act on first receipt.
                     let seen = self.runtimes[instance].seen.record(ControlKind::Commit, c.from);
@@ -951,9 +955,7 @@ impl EngineModel {
                     // Duplicate INIT: skip restore, still forward + ack
                     // (§3.1: "skips processing this event if the task has
                     // already restored its state").
-                    if self.wave_routing.get(&ControlKind::Init).copied()
-                        == Some(WaveRouting::Sequential)
-                    {
+                    if self.wave_discipline(ControlKind::Init).edge_forwarded {
                         self.forward_control(instance, c, sched);
                     }
                     self.ack_control(instance, ControlKind::Init, sched);
@@ -979,9 +981,7 @@ impl EngineModel {
         };
         self.store.put(iid, StateBlob { processed, pending });
         self.stats.state_persists += 1;
-        if self.wave_routing.get(&ControlKind::Commit).copied().unwrap_or(WaveRouting::Sequential)
-            == WaveRouting::Sequential
-        {
+        if self.wave_discipline(ControlKind::Commit).edge_forwarded {
             self.forward_control(instance, c, sched);
         }
         self.ack_control(instance, ControlKind::Commit, sched);
@@ -1018,9 +1018,7 @@ impl EngineModel {
             at: sched.now(),
             pending_replayed,
         });
-        if c.kind == ControlKind::Init
-            && self.wave_routing.get(&ControlKind::Init).copied() == Some(WaveRouting::Sequential)
-        {
+        if c.kind == ControlKind::Init && self.wave_discipline(ControlKind::Init).edge_forwarded {
             self.forward_control(instance, c, sched);
         }
         self.ack_control(instance, c.kind, sched);

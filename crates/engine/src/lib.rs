@@ -47,6 +47,8 @@ pub use config::{EngineConfig, StoreLatencyModel};
 pub use engine::{Engine, EngineCtl};
 pub use event::{ControlEvent, ControlSender, DataEvent, QueueItem};
 pub use instance::WorkerStatus;
-pub use protocol::{resend, MigrationCoordinator, NoopCoordinator, ProtocolConfig, WaveRouting};
+pub use protocol::{
+    resend, MigrationCoordinator, NoopCoordinator, ProtocolConfig, WaveDiscipline, WaveRouting,
+};
 pub use stats::EngineStats;
 pub use store::{ShardStats, ShardedStateStore, StateBlob, StateStore};

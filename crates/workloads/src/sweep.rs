@@ -2,7 +2,7 @@
 
 use crate::experiment::{Experiment, ExperimentReport};
 use flowmig_cluster::{ScaleDirection, ScheduleError};
-use flowmig_core::{Ccr, Dcr, Dsm, MigrationController, MigrationStrategy, StrategyKind};
+use flowmig_core::{Ccr, Dcr, MigrationController, MigrationStrategy, StrategyKind};
 use flowmig_topology::{library, Dataflow};
 
 /// Runs the full strategy × dataflow matrix for one scaling direction —
@@ -26,11 +26,7 @@ pub fn strategy_matrix(
             let experiment = Experiment::paper(dag.clone(), direction)
                 .with_seeds(seeds)
                 .with_controller(controller.clone());
-            let report = match kind {
-                StrategyKind::Dsm => experiment.run(&Dsm::new())?,
-                StrategyKind::Dcr => experiment.run(&Dcr::new())?,
-                StrategyKind::Ccr => experiment.run(&Ccr::new())?,
-            };
+            let report = experiment.run(strategy_of(kind).as_ref())?;
             reports.push(report);
         }
     }
@@ -86,13 +82,11 @@ pub fn drain_time_sweep(
     Ok(rows)
 }
 
-/// Convenience: a strategy instance for each [`StrategyKind`].
+/// Convenience: the paper-default strategy instance for each
+/// [`StrategyKind`] — a thin alias of the core registry
+/// ([`flowmig_core::default_strategy`]).
 pub fn strategy_of(kind: StrategyKind) -> Box<dyn MigrationStrategy> {
-    match kind {
-        StrategyKind::Dsm => Box::new(Dsm::new()),
-        StrategyKind::Dcr => Box::new(Dcr::new()),
-        StrategyKind::Ccr => Box::new(Ccr::new()),
-    }
+    flowmig_core::default_strategy(kind)
 }
 
 #[cfg(test)]

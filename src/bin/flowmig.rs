@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! USAGE:
-//!   flowmig [--dag NAME] [--strategy DSM|DCR|CCR] [--direction in|out]
-//!           [--seed N] [--request-secs N] [--horizon-secs N]
-//!           [--shards N] [--parallel-waves FANOUT]
+//!   flowmig [--dag NAME] [--strategy dsm|dcr|ccr|ccr-pipelined]
+//!           [--direction in|out] [--seed N] [--request-secs N]
+//!           [--horizon-secs N] [--shards N] [--parallel-waves FANOUT]
 //!           [--csv throughput|latency]
 //! ```
 //!
 //! Prints the §4 metrics for one run of the paper's protocol, or a CSV
-//! series for external plotting.
+//! series for external plotting. Strategies are enumerated from the core
+//! registry ([`flowmig::core::strategies`]) — a plan registered there is
+//! immediately runnable here, listed in `--help`, with no CLI changes.
 
+use flowmig::core::{strategies, strategy_named};
 use flowmig::prelude::*;
 use flowmig::workloads::{latency_csv, throughput_csv};
 use std::process::ExitCode;
@@ -28,20 +31,25 @@ struct Args {
 }
 
 fn usage() -> ExitCode {
+    let names: Vec<&str> = strategies().iter().map(|info| info.cli_name).collect();
     eprintln!(
         "usage: flowmig [--dag linear|diamond|star|grid|traffic|linearN|gridxN] \
-         [--strategy DSM|DCR|CCR] [--direction in|out] [--seed N] \
+         [--strategy {}] [--direction in|out] [--seed N] \
          [--request-secs N] [--horizon-secs N] [--shards N] \
-         [--parallel-waves FANOUT (0 = engine default window)] \
-         [--csv throughput|latency]"
+         [--parallel-waves FANOUT (0 = derived from store shards)] \
+         [--csv throughput|latency]\n\nstrategies:",
+        names.join("|")
     );
+    for info in strategies() {
+        eprintln!("  {:<14} {}", info.cli_name, info.paper_name);
+    }
     ExitCode::FAILURE
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         dag: "grid".to_owned(),
-        strategy: "CCR".to_owned(),
+        strategy: "ccr".to_owned(),
         direction: ScaleDirection::In,
         seed: 42,
         request_secs: 180,
@@ -55,7 +63,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
             "--dag" => args.dag = value()?,
-            "--strategy" => args.strategy = value()?.to_uppercase(),
+            "--strategy" => args.strategy = value()?,
             "--direction" => {
                 args.direction = match value()?.as_str() {
                     "in" => ScaleDirection::In,
@@ -133,25 +141,14 @@ fn main() -> ExitCode {
     if let Some(shards) = args.shards {
         controller = controller.with_store_shards(shards);
     }
-    let par = args.parallel_waves;
-    let result = match args.strategy.as_str() {
-        "DSM" => {
-            let s = par.map_or_else(Dsm::new, |f| Dsm::new().with_parallel_waves(f));
-            controller.run(&dag, &s, args.direction)
-        }
-        "DCR" => {
-            let s = par.map_or_else(Dcr::new, |f| Dcr::new().with_parallel_waves(f));
-            controller.run(&dag, &s, args.direction)
-        }
-        "CCR" => {
-            let s = par.map_or_else(Ccr::new, |f| Ccr::new().with_parallel_waves(f));
-            controller.run(&dag, &s, args.direction)
-        }
-        other => {
-            eprintln!("error: unknown strategy `{other}`");
-            return usage();
-        }
+    // One registry lookup covers parsing, listing and construction: any
+    // plan registered in flowmig-core is runnable here by its cli name.
+    let Some(info) = strategy_named(&args.strategy) else {
+        eprintln!("error: unknown strategy `{}`", args.strategy);
+        return usage();
     };
+    let strategy = info.build(args.parallel_waves);
+    let result = controller.run(&dag, strategy.as_ref(), args.direction);
     let outcome = match result {
         Ok(o) => o,
         Err(e) => {

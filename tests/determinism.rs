@@ -1,12 +1,30 @@
 //! Seed-determinism guard for the engine hot paths.
 //!
 //! Same seed ⇒ bit-identical `TraceLog` and `EngineStats` for every
-//! strategy (DSM/DCR/CCR) on every library dataflow, run twice. This is
-//! the behavior-preservation proof for the acker expiry wheel, the sharded
-//! state store, and the batched event-queue dispatch: any nondeterminism
-//! or ordering drift those refactors introduced would diverge the traces.
+//! strategy (DSM/DCR/CCR/CCR-P) on every library dataflow, run twice. This
+//! is the behavior-preservation proof for the acker expiry wheel, the
+//! sharded state store, the batched event-queue dispatch, and the
+//! plan-interpreting `PlanCoordinator`: any nondeterminism or ordering
+//! drift those refactors introduced would diverge the traces. The
+//! PR 3 coordinator baselines are additionally pinned as FNV-1a hashes
+//! (`plan_driven_strategies_reproduce_the_hardcoded_coordinator_traces`),
+//! so the plan IR cannot silently reshape a default timeline.
 
+use flowmig::core::CcrPipelined;
 use flowmig::prelude::*;
+
+/// FNV-1a over the debug rendering of every trace event — a stable,
+/// pinnable digest of a full simulated timeline.
+fn trace_hash(trace: &TraceLog) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for ev in trace.iter() {
+        for b in format!("{ev:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
 
 fn dags() -> Vec<Dataflow> {
     vec![
@@ -105,6 +123,87 @@ fn parallel_commit_completes_strictly_earlier_than_sequential_on_wide_grid() {
     // Reliability is untouched by the rerouting.
     assert_eq!(parallel.stats.events_dropped, 0);
     assert_eq!(parallel.stats.replayed_roots, 0);
+}
+
+/// The PR 3 hand-written coordinators (`DsmCoordinator`,
+/// `PhasedCoordinator`) were replaced by the generic plan interpreter;
+/// these hashes were computed from the hardcoded coordinators at commit
+/// dd3bd8d with exactly this harness (seed 7, request 60 s, horizon
+/// 300 s, scale-in). The plan-driven strategies must reproduce them
+/// byte for byte.
+#[test]
+fn plan_driven_strategies_reproduce_the_hardcoded_coordinator_traces() {
+    const PR3_BASELINE: [(&str, &str, u64); 15] = [
+        ("DSM", "linear", 0x4ae570fce7021224),
+        ("DSM", "diamond", 0x1d91426f34143494),
+        ("DSM", "star", 0xa1e2289ca471cd33),
+        ("DSM", "grid", 0x502cbdb7dbc9a4b2),
+        ("DSM", "traffic", 0xcebaba46a5d8ec5c),
+        ("DCR", "linear", 0x071afb70a0b615fe),
+        ("DCR", "diamond", 0x90cbe75417178e0a),
+        ("DCR", "star", 0x08b6a5197cfed7a1),
+        ("DCR", "grid", 0xa9e183f453d6914f),
+        ("DCR", "traffic", 0x38841e336ee458c8),
+        ("CCR", "linear", 0x144eb0b9e14dc0e2),
+        ("CCR", "diamond", 0xc6bed943c2dfe274),
+        ("CCR", "star", 0x9a084492ed2e564f),
+        ("CCR", "grid", 0x0ba42c8d0f23f446),
+        ("CCR", "traffic", 0xecc5e6bdbbe7ce20),
+    ];
+    let mut checked = 0;
+    for strategy in strategies() {
+        for dag in dags() {
+            let out = controller(7)
+                .run(&dag, strategy.as_ref(), ScaleDirection::In)
+                .expect("paper scenario placeable");
+            let pinned = PR3_BASELINE
+                .iter()
+                .find(|(s, d, _)| *s == out.strategy && *d == dag.name())
+                .unwrap_or_else(|| panic!("no baseline for {} on {}", out.strategy, dag.name()));
+            assert_eq!(
+                trace_hash(&out.trace),
+                pinned.2,
+                "plan-driven {} on {} diverged from the PR 3 hardcoded coordinator",
+                out.strategy,
+                dag.name()
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, PR3_BASELINE.len());
+}
+
+/// The `CcrPipelined` matrix, pinned: every wave `Parallel { fan_out: 0 }`
+/// (window derived from the 8-shard default store), across all five paper
+/// DAGs. Run-twice equality guards nondeterminism; the pinned hashes guard
+/// unintended timeline drift in future engine or interpreter changes.
+#[test]
+fn ccr_pipelined_matrix_is_pinned_and_deterministic() {
+    const PINNED: [(&str, u64); 5] = [
+        ("linear", 0x2456c08b82eccde3),
+        ("diamond", 0x2aac789be9d7e555),
+        ("star", 0xcf9e709c5f745494),
+        ("grid", 0xfd86d6db3afcb553),
+        ("traffic", 0x6baaa959292ac621),
+    ];
+    for dag in dags() {
+        let first = controller(7)
+            .run(&dag, &CcrPipelined::new(), ScaleDirection::In)
+            .expect("paper scenario placeable");
+        let second = controller(7)
+            .run(&dag, &CcrPipelined::new(), ScaleDirection::In)
+            .expect("paper scenario placeable");
+        assert_eq!(first.stats, second.stats, "stats diverged: CCR-P on {}", dag.name());
+        assert_eq!(first.trace, second.trace, "trace diverged: CCR-P on {}", dag.name());
+        assert!(first.completed, "CCR-P completes on {}", dag.name());
+        assert_eq!(first.stats.events_dropped, 0, "CCR-P loses nothing on {}", dag.name());
+        assert_eq!(first.stats.replayed_roots, 0, "CCR-P replays nothing on {}", dag.name());
+        let pinned = PINNED
+            .iter()
+            .find(|(d, _)| *d == dag.name())
+            .unwrap_or_else(|| panic!("no pin for {}", dag.name()));
+        assert_eq!(trace_hash(&first.trace), pinned.1, "CCR-P timeline drifted on {}", dag.name());
+    }
 }
 
 #[test]
