@@ -1,5 +1,6 @@
 //! Migration latency at scale: sequential vs per-shard **parallel**
-//! checkpoint waves on width-scaled Grid dataflows.
+//! checkpoint waves on width-scaled Grid dataflows, under both store
+//! service models (zero-queueing vs per-shard FIFO contention).
 //!
 //! The paper's rapid-elasticity claim rests on shrinking the
 //! checkpoint/restore critical path. The classic hop-by-hop COMMIT sweep
@@ -16,23 +17,31 @@
 //!
 //! `CcrPipelined` ("pipelined" rows) additionally routes PREPARE through
 //! the store-shard windows with the fan-out **derived** from the shard
-//! count (`Parallel { fan_out: 0 }`), the first strategy expressible only
-//! on the plan IR.
+//! count (`Parallel { fan_out: 0 }`). The `store=fifo` rows re-run DCR
+//! and CCR-P with `StoreServiceModel::FifoPerShard`: each shard is a FIFO
+//! single-server queue, so the derived window's per-shard fair share
+//! actually binds — a 1-shard store must serialize a 192-instance wave
+//! instead of absorbing it for free, which is the contention shape the
+//! zero-queueing rows cannot show.
 //!
 //! Environment:
 //!
-//! * `BENCH_MIGRATION_JSON=path` writes a machine-readable summary (CI
-//!   uploads it as `BENCH_migration.json`);
+//! * `BENCH_MIGRATION_JSON=path` writes a machine-readable summary
+//!   including per-shard queueing stats (CI uploads it as
+//!   `BENCH_migration.json`);
 //! * exits non-zero if the plan validator rejects any built-in registry
-//!   strategy's plan (the declarative IR's CI gate), or on either
-//!   perf-regression tripwire: parallel COMMIT not faster than sequential
-//!   at the largest size (192 instances), or commit+restore speedup below
-//!   3x at 96 instances / 8 shards.
+//!   strategy's plan (the declarative IR's CI gate), or on any
+//!   perf/model-regression tripwire: parallel COMMIT not faster than
+//!   sequential at the largest size (192 instances), commit+restore
+//!   speedup below 3x at 96 instances / 8 shards, or — the contention
+//!   gate — the 192-instance/1-shard `CCR-P` row *not* penalized vs
+//!   8 shards under FIFO queueing (which would mean contention no longer
+//!   binds).
 
 use flowmig_bench::{banner, BENCH_SEEDS};
 use flowmig_cluster::ScaleDirection;
 use flowmig_core::{strategies, Ccr, CcrPipelined, Dcr, MigrationController, MigrationStrategy};
-use flowmig_engine::EngineConfig;
+use flowmig_engine::{EngineConfig, StoreServiceModel};
 use flowmig_sim::{SimDuration, SimTime};
 use flowmig_topology::library;
 use flowmig_workloads::TextTable;
@@ -46,16 +55,24 @@ const SHARDS: [usize; 3] = [1, 4, 8];
 /// Per-shard window for the parallel variants.
 const FAN_OUT: usize = 4;
 
-/// One (dag, shards, strategy, routing) cell, averaged over the seeds.
+/// One (dag, shards, strategy, routing, store model) cell, averaged over
+/// the seeds.
 struct Cell {
     dag: String,
     participants: usize,
     shards: usize,
     strategy: &'static str,
     waves: &'static str,
+    store: &'static str,
     commit_ms: f64,
     restore_ms: f64,
     wall_ms: f64,
+    /// Mean total time ops spent waiting in shard queues (all shards).
+    queued_wait_ms: f64,
+    /// Mean count of ops that waited.
+    queued_ops: f64,
+    /// Mean of the deepest per-shard in-flight window observed.
+    max_queue_depth: f64,
 }
 
 impl Cell {
@@ -64,7 +81,14 @@ impl Cell {
     }
 }
 
-fn controller(shards: usize, seed: u64) -> MigrationController {
+fn store_label(service: StoreServiceModel) -> &'static str {
+    match service {
+        StoreServiceModel::Unqueued => "flat",
+        StoreServiceModel::FifoPerShard => "fifo",
+    }
+}
+
+fn controller(shards: usize, seed: u64, service: StoreServiceModel) -> MigrationController {
     // Isolate the wave critical path: zero worker-ready delay (identical
     // for both routings), everything else at paper defaults.
     let config = EngineConfig {
@@ -75,6 +99,7 @@ fn controller(shards: usize, seed: u64) -> MigrationController {
     MigrationController::new()
         .with_engine_config(config)
         .with_store_shards(shards)
+        .with_store_service(service)
         .with_request_at(SimTime::from_secs(30))
         .with_horizon(SimTime::from_secs(90))
         .with_seed(seed)
@@ -85,12 +110,14 @@ fn measure(
     shards: usize,
     strategy: &dyn MigrationStrategy,
     waves: &'static str,
+    service: StoreServiceModel,
 ) -> Cell {
     let dag = library::grid_scaled(width);
     let (mut commit, mut restore, mut wall) = (0.0, 0.0, 0.0);
+    let (mut queued_wait, mut queued_ops, mut max_depth) = (0.0, 0.0, 0.0);
     for &seed in &BENCH_SEEDS {
         let started = Instant::now();
-        let out = controller(shards, seed)
+        let out = controller(shards, seed, service)
             .run(&dag, strategy, ScaleDirection::In)
             .expect("scaled grid placeable");
         wall += started.elapsed().as_secs_f64() * 1e3;
@@ -98,6 +125,9 @@ fn measure(
         assert_eq!(out.stats.events_dropped, 0, "reliable migration drops nothing");
         commit += out.metrics.commit_wave.expect("commit span").as_millis_f64();
         restore += out.metrics.restore_wave.expect("restore span").as_millis_f64();
+        queued_wait += out.stats.store_wait_us as f64 / 1e3;
+        queued_ops += out.stats.store_ops_queued as f64;
+        max_depth += out.shard_stats.iter().map(|s| s.max_queue_depth).max().unwrap_or(0) as f64;
     }
     let n = BENCH_SEEDS.len() as f64;
     Cell {
@@ -106,9 +136,13 @@ fn measure(
         shards,
         strategy: strategy.name(),
         waves,
+        store: store_label(service),
         commit_ms: commit / n,
         restore_ms: restore / n,
         wall_ms: wall / n,
+        queued_wait_ms: queued_wait / n,
+        queued_ops: queued_ops / n,
+        max_queue_depth: max_depth / n,
     }
 }
 
@@ -122,17 +156,22 @@ fn export_json(cells: &[Cell]) {
         let _ = write!(
             row,
             "  {{\"dag\": \"{}\", \"participants\": {}, \"shards\": {}, \"strategy\": \"{}\", \
-             \"waves\": \"{}\", \"commit_ms\": {:.3}, \"restore_ms\": {:.3}, \
-             \"total_ms\": {:.3}, \"wall_ms\": {:.3}}}",
+             \"waves\": \"{}\", \"store\": \"{}\", \"commit_ms\": {:.3}, \"restore_ms\": {:.3}, \
+             \"total_ms\": {:.3}, \"wall_ms\": {:.3}, \"queued_wait_ms\": {:.3}, \
+             \"queued_ops\": {:.1}, \"max_queue_depth\": {:.1}}}",
             c.dag,
             c.participants,
             c.shards,
             c.strategy,
             c.waves,
+            c.store,
             c.commit_ms,
             c.restore_ms,
             c.total_ms(),
             c.wall_ms,
+            c.queued_wait_ms,
+            c.queued_ops,
+            c.max_queue_depth,
         );
         rows.push(row);
     }
@@ -148,6 +187,7 @@ fn find<'a>(
     shards: usize,
     strategy: &str,
     waves: &str,
+    store: &str,
 ) -> &'a Cell {
     cells
         .iter()
@@ -156,6 +196,7 @@ fn find<'a>(
                 && c.shards == shards
                 && c.strategy == strategy
                 && c.waves == waves
+                && c.store == store
         })
         .expect("cell measured")
 }
@@ -179,28 +220,38 @@ fn validate_built_in_plans() {
 fn main() {
     banner(
         "migration_latency",
-        "simulated COMMIT+INIT wave time, sequential vs per-shard parallel vs pipelined",
+        "simulated COMMIT+INIT wave time: sequential vs parallel vs pipelined, flat vs fifo store",
     );
     validate_built_in_plans();
+    let flat = StoreServiceModel::Unqueued;
+    let fifo = StoreServiceModel::FifoPerShard;
     let mut cells: Vec<Cell> = Vec::new();
     for &width in &WIDTHS {
         for &shards in &SHARDS {
-            cells.push(measure(width, shards, &Dcr::new(), "sequential"));
+            cells.push(measure(width, shards, &Dcr::new(), "sequential", flat));
             cells.push(measure(
                 width,
                 shards,
                 &Dcr::new().with_parallel_waves(FAN_OUT),
                 "parallel",
+                flat,
             ));
-            cells.push(measure(width, shards, &Ccr::new(), "sequential"));
+            cells.push(measure(width, shards, &Ccr::new(), "sequential", flat));
             cells.push(measure(
                 width,
                 shards,
                 &Ccr::new().with_parallel_waves(FAN_OUT),
                 "parallel",
+                flat,
             ));
             // Fan-out derived from the shard count (0), PREPARE included.
-            cells.push(measure(width, shards, &CcrPipelined::new(), "pipelined"));
+            cells.push(measure(width, shards, &CcrPipelined::new(), "pipelined", flat));
+            // Contention rows: the same sequential sweep (near-immune, at
+            // most one op per shard in flight along the DAG) and the
+            // derived-window pipelined plan (the stressor) under per-shard
+            // FIFO queueing.
+            cells.push(measure(width, shards, &Dcr::new(), "sequential", fifo));
+            cells.push(measure(width, shards, &CcrPipelined::new(), "pipelined", fifo));
         }
     }
 
@@ -210,9 +261,12 @@ fn main() {
         "shards",
         "strategy",
         "waves",
+        "store",
         "commit (ms)",
         "restore (ms)",
         "commit+restore (ms)",
+        "queue wait (ms)",
+        "max depth",
         "host wall (ms)",
     ]);
     for c in &cells {
@@ -222,9 +276,12 @@ fn main() {
             c.shards.to_string(),
             c.strategy.to_owned(),
             c.waves.to_owned(),
+            c.store.to_owned(),
             format!("{:.2}", c.commit_ms),
             format!("{:.2}", c.restore_ms),
             format!("{:.2}", c.total_ms()),
+            format!("{:.2}", c.queued_wait_ms),
+            format!("{:.1}", c.max_queue_depth),
             format!("{:.1}", c.wall_ms),
         ]);
     }
@@ -233,8 +290,8 @@ fn main() {
 
     // Headline number: restore+commit speedup at 96 instances / 8 shards.
     for strategy in ["DCR", "CCR"] {
-        let seq = find(&cells, 6, 8, strategy, "sequential");
-        let par = find(&cells, 6, 8, strategy, "parallel");
+        let seq = find(&cells, 6, 8, strategy, "sequential", "flat");
+        let par = find(&cells, 6, 8, strategy, "parallel", "flat");
         let speedup = seq.total_ms() / par.total_ms();
         println!(
             "{strategy} @ 96 instances, 8 shards: commit+restore {:.2} ms -> {:.2} ms ({speedup:.1}x)",
@@ -251,9 +308,9 @@ fn main() {
     // pipelined plan against both the sequential sweep and the hand-tuned
     // parallel variant.
     {
-        let seq = find(&cells, 6, 8, "CCR", "sequential");
-        let par = find(&cells, 6, 8, "CCR", "parallel");
-        let pip = find(&cells, 6, 8, "CCR-P", "pipelined");
+        let seq = find(&cells, 6, 8, "CCR", "sequential", "flat");
+        let par = find(&cells, 6, 8, "CCR", "parallel", "flat");
+        let pip = find(&cells, 6, 8, "CCR-P", "pipelined", "flat");
         println!(
             "CCR-P @ 96 instances, 8 shards: commit+restore {:.2} ms \
              (CCR sequential {:.2} ms, CCR parallel fan_out={FAN_OUT} {:.2} ms)",
@@ -268,8 +325,8 @@ fn main() {
     let widest = *WIDTHS.iter().max().expect("widths non-empty");
     let most_shards = *SHARDS.iter().max().expect("shards non-empty");
     for strategy in ["DCR", "CCR"] {
-        let seq = find(&cells, widest, most_shards, strategy, "sequential");
-        let par = find(&cells, widest, most_shards, strategy, "parallel");
+        let seq = find(&cells, widest, most_shards, strategy, "sequential", "flat");
+        let par = find(&cells, widest, most_shards, strategy, "parallel", "flat");
         if par.commit_ms >= seq.commit_ms {
             eprintln!(
                 "PERF REGRESSION: {strategy} parallel COMMIT ({:.2} ms) is not faster than \
@@ -282,9 +339,46 @@ fn main() {
             std::process::exit(1);
         }
     }
+
+    // Contention tripwire: under per-shard FIFO queueing, the
+    // 192-instance / 1-shard CCR-P wave must pay a measurable penalty
+    // relative to 8 shards — that penalty is the proof that the derived
+    // fan-out's fair share binds. Under the old flat pricing this ratio
+    // was ~1.0 (the "optimistically flat" row); require >= 2x so noise
+    // cannot satisfy the gate.
+    {
+        let one = find(&cells, widest, 1, "CCR-P", "pipelined", "fifo");
+        let eight = find(&cells, widest, 8, "CCR-P", "pipelined", "fifo");
+        let penalty = one.total_ms() / eight.total_ms();
+        println!(
+            "CCR-P @ {} instances under fifo store: 1 shard {:.2} ms vs 8 shards {:.2} ms \
+             ({penalty:.1}x queueing penalty, {:.2} ms waited on the single shard)",
+            16 * widest,
+            one.total_ms(),
+            eight.total_ms(),
+            one.queued_wait_ms,
+        );
+        if penalty < 2.0 {
+            eprintln!(
+                "CONTENTION REGRESSION: 1-shard CCR-P at {} instances is not penalized vs \
+                 8 shards under the FIFO store model ({:.2} ms vs {:.2} ms, {penalty:.2}x < 2x) — \
+                 store queueing no longer binds",
+                16 * widest,
+                one.total_ms(),
+                eight.total_ms(),
+            );
+            std::process::exit(1);
+        }
+        if one.queued_wait_ms <= 0.0 {
+            eprintln!(
+                "CONTENTION REGRESSION: no queueing wait recorded on the saturated 1-shard store"
+            );
+            std::process::exit(1);
+        }
+    }
     println!(
-        "shape checks passed: parallel COMMIT beats sequential at {} instances, \
-         >=3x total at 96/8",
+        "shape checks passed: parallel COMMIT beats sequential at {} instances, >=3x total \
+         at 96/8, and 1-shard contention binds under the fifo store",
         16 * widest
     );
 }

@@ -2,7 +2,7 @@
 
 use crate::strategy::MigrationStrategy;
 use flowmig_cluster::{ScaleDirection, ScalePlan, ScheduleError};
-use flowmig_engine::{Engine, EngineConfig, EngineStats};
+use flowmig_engine::{Engine, EngineConfig, EngineStats, ShardStats, StoreServiceModel};
 use flowmig_metrics::{MigrationMetrics, StabilityCriteria, TraceLog};
 use flowmig_sim::{SimDuration, SimTime};
 use flowmig_topology::{Dataflow, InstanceSet, RatePlan};
@@ -20,6 +20,10 @@ pub struct MigrationOutcome {
     pub completed: bool,
     /// The full trace, for timeline plots and custom analysis.
     pub trace: TraceLog,
+    /// Final per-shard store counters, in shard order — put/get traffic
+    /// plus the queueing observables (`max_queue_depth`, `queued_ops`,
+    /// `queued_wait`) the contention benches export.
+    pub shard_stats: Vec<ShardStats>,
 }
 
 /// Orchestrates the paper's experiment protocol for a single run: deploy
@@ -85,6 +89,17 @@ impl MigrationController {
     pub fn with_store_shards(mut self, shards: usize) -> Self {
         assert!(shards > 0, "a sharded store needs at least one shard");
         self.engine_config.store_shards = shards;
+        self
+    }
+
+    /// Selects the store's service model: the zero-queueing compatibility
+    /// default prices every persist/fetch independently of concurrent
+    /// load, while [`StoreServiceModel::FifoPerShard`] runs each shard as
+    /// a FIFO single-server queue — over-wide parallel-wave windows then
+    /// queue, and the derived fan-out's per-shard fair share actually
+    /// binds.
+    pub fn with_store_service(mut self, model: StoreServiceModel) -> Self {
+        self.engine_config.store_service = model;
         self
     }
 
@@ -176,11 +191,19 @@ impl MigrationController {
         engine.run_until(self.horizon);
 
         let stats = *engine.stats();
+        let shard_stats = engine.store().all_shard_stats();
         let trace = engine.into_trace();
         let metrics =
             MigrationMetrics::from_trace(&trace, &StabilityCriteria::paper(expected), self.bucket);
         let completed = trace.migration_completed_at().is_some();
-        MigrationOutcome { strategy: strategy.name(), metrics, stats, completed, trace }
+        MigrationOutcome {
+            strategy: strategy.name(),
+            metrics,
+            stats,
+            completed,
+            trace,
+            shard_stats,
+        }
     }
 }
 
@@ -260,6 +283,56 @@ mod tests {
         // DCR drains fully: no old events remain to catch up after the
         // rebalance.
         assert_eq!(out.metrics.catchup, None);
+    }
+
+    #[test]
+    fn fifo_store_contention_penalizes_the_single_shard_pipelined_wave() {
+        // CCR-P's derived window admits each shard's whole membership at
+        // once, which the zero-queueing model prices as free. Under
+        // per-shard FIFO service queues a 1-shard store must serialize
+        // the entire wave while 8 shards split the line: the checkpoint
+        // critical path must be strictly worse on 1 shard, the queueing
+        // observables must show the wait, and the compatibility model
+        // must remain a lower bound.
+        let run = |shards, model| {
+            MigrationController::new()
+                .with_request_at(SimTime::from_secs(60))
+                .with_horizon(SimTime::from_secs(400))
+                .with_store_shards(shards)
+                .with_store_service(model)
+                .run(&library::grid(), &crate::CcrPipelined::new(), ScaleDirection::In)
+                .unwrap()
+        };
+        let total = |o: &MigrationOutcome| {
+            o.metrics.commit_wave.expect("commit span") + o.metrics.restore_wave.expect("restore")
+        };
+        let one = run(1, StoreServiceModel::FifoPerShard);
+        let eight = run(8, StoreServiceModel::FifoPerShard);
+        let flat = run(1, StoreServiceModel::Unqueued);
+        assert!(one.completed && eight.completed && flat.completed);
+        assert!(
+            total(&one) > total(&eight),
+            "1-shard FIFO store must pay for serializing the wave: {} vs {}",
+            total(&one),
+            total(&eight)
+        );
+        assert!(
+            total(&one) >= total(&flat),
+            "queueing is a strict extension: {} vs flat {}",
+            total(&one),
+            total(&flat)
+        );
+        // The wait is observable at every layer: engine counters, trace
+        // metrics, and the exported per-shard snapshot.
+        assert!(one.stats.store_ops_queued > 0, "ops queued on the saturated shard");
+        assert_eq!(one.stats.store_wait_us, one.metrics.store_wait.unwrap().as_micros());
+        assert_eq!(one.shard_stats.len(), 1);
+        assert!(one.shard_stats[0].queued_wait > SimDuration::ZERO);
+        assert!(one.shard_stats[0].max_queue_depth > 1);
+        // Reliability is untouched by the repricing.
+        assert_eq!(one.stats.events_dropped, 0);
+        assert_eq!(one.stats.replayed_roots, 0);
+        assert_eq!(one.stats.pending_replayed, one.stats.events_captured);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`CcrPipelined`] — CCR with every wave (including PREPARE) fanned out
 //!   per store shard and the window derived from the shard count — a
 //!   hybrid expressible only on the plan IR.
+//! * [`DcrParallelInit`] — DCR with only the post-rebalance INIT fanned
+//!   out per store shard: the full sequential drain guarantee, a restore
+//!   that costs ~one store epoch per shard window.
 //!
 //! Strategies are **data**: each one is a small builder returning a
 //! declarative [`MigrationPlan`] (see [`plan`] for the IR and a worked
@@ -54,6 +57,7 @@ mod ccr;
 mod ccr_pipelined;
 mod controller;
 mod dcr;
+mod dcr_parallel_init;
 mod dsm;
 mod interp;
 pub mod plan;
@@ -63,6 +67,7 @@ pub use ccr::Ccr;
 pub use ccr_pipelined::CcrPipelined;
 pub use controller::{MigrationController, MigrationOutcome};
 pub use dcr::Dcr;
+pub use dcr_parallel_init::DcrParallelInit;
 pub use dsm::Dsm;
 pub use interp::PlanCoordinator;
 pub use plan::{

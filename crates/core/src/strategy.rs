@@ -2,7 +2,7 @@
 
 use crate::interp::PlanCoordinator;
 use crate::plan::MigrationPlan;
-use crate::{Ccr, CcrPipelined, Dcr, Dsm};
+use crate::{Ccr, CcrPipelined, Dcr, DcrParallelInit, Dsm};
 use flowmig_engine::{MigrationCoordinator, ProtocolConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -17,6 +17,10 @@ pub enum StrategyKind {
     /// Drain-Checkpoint-Restore (§3.1): drain in-flight events, JIT
     /// checkpoint, restore after rebalance.
     Dcr,
+    /// DCR with only the post-rebalance INIT fanned out per store shard
+    /// (sequential PREPARE/COMMIT keep the full drain guarantee) — the
+    /// "drain purist" plan-IR variant ([`DcrParallelInit`]).
+    DcrParallelInit,
     /// Capture-Checkpoint-Resume (§3.2): capture in-flight events in place,
     /// checkpoint them with the state, resume them after rebalance.
     Ccr,
@@ -42,6 +46,7 @@ impl StrategyKind {
         match self {
             StrategyKind::Dsm => "DSM",
             StrategyKind::Dcr => "DCR",
+            StrategyKind::DcrParallelInit => "DCR-PI",
             StrategyKind::Ccr => "CCR",
             StrategyKind::CcrPipelined => "CCR-P",
         }
@@ -141,6 +146,15 @@ fn build_dcr(par: Option<usize>) -> Box<dyn MigrationStrategy> {
     })
 }
 
+fn build_dcr_parallel_init(par: Option<usize>) -> Box<dyn MigrationStrategy> {
+    Box::new(match par {
+        // DCR-PI's INIT is parallel by construction; the knob overrides
+        // its per-shard window instead (like CcrPipelined).
+        Some(fan_out) => DcrParallelInit::new().with_fan_out(fan_out),
+        None => DcrParallelInit::new(),
+    })
+}
+
 fn build_ccr(par: Option<usize>) -> Box<dyn MigrationStrategy> {
     Box::new(match par {
         Some(fan_out) => Ccr::new().with_parallel_waves(fan_out),
@@ -158,7 +172,7 @@ fn build_ccr_pipelined(par: Option<usize>) -> Box<dyn MigrationStrategy> {
 /// The single strategy registry: kind, CLI spelling, paper name and plan
 /// builder for every shipped strategy. New plans register here once and
 /// appear in the CLI, the sweeps and the bench matrices.
-static REGISTRY: [StrategyInfo; 4] = [
+static REGISTRY: [StrategyInfo; 5] = [
     StrategyInfo {
         kind: StrategyKind::Dsm,
         cli_name: "dsm",
@@ -170,6 +184,12 @@ static REGISTRY: [StrategyInfo; 4] = [
         cli_name: "dcr",
         paper_name: "Drain-Checkpoint-Restore",
         builder: build_dcr,
+    },
+    StrategyInfo {
+        kind: StrategyKind::DcrParallelInit,
+        cli_name: "dcr-parallel-init",
+        paper_name: "Drain-Checkpoint-Restore, parallel restore",
+        builder: build_dcr_parallel_init,
     },
     StrategyInfo {
         kind: StrategyKind::Ccr,
@@ -213,6 +233,7 @@ mod tests {
     fn kinds_display_paper_names() {
         assert_eq!(StrategyKind::Dsm.to_string(), "DSM");
         assert_eq!(StrategyKind::Dcr.to_string(), "DCR");
+        assert_eq!(StrategyKind::DcrParallelInit.to_string(), "DCR-PI");
         assert_eq!(StrategyKind::Ccr.to_string(), "CCR");
         assert_eq!(StrategyKind::CcrPipelined.to_string(), "CCR-P");
         assert_eq!(StrategyKind::ALL.len(), 3, "ALL is the paper's matrix");
@@ -220,9 +241,13 @@ mod tests {
 
     #[test]
     fn registry_covers_every_kind_once() {
-        for kind in
-            [StrategyKind::Dsm, StrategyKind::Dcr, StrategyKind::Ccr, StrategyKind::CcrPipelined]
-        {
+        for kind in [
+            StrategyKind::Dsm,
+            StrategyKind::Dcr,
+            StrategyKind::DcrParallelInit,
+            StrategyKind::Ccr,
+            StrategyKind::CcrPipelined,
+        ] {
             let rows = strategies().iter().filter(|i| i.kind == kind).count();
             assert_eq!(rows, 1, "{kind} registered exactly once");
             assert_eq!(default_strategy(kind).kind(), kind);
@@ -233,6 +258,10 @@ mod tests {
     fn lookup_is_case_insensitive() {
         assert_eq!(strategy_named("DSM").map(|i| i.kind), Some(StrategyKind::Dsm));
         assert_eq!(strategy_named("dcr").map(|i| i.kind), Some(StrategyKind::Dcr));
+        assert_eq!(
+            strategy_named("DCR-Parallel-Init").map(|i| i.kind),
+            Some(StrategyKind::DcrParallelInit)
+        );
         assert_eq!(
             strategy_named("CCR-Pipelined").map(|i| i.kind),
             Some(StrategyKind::CcrPipelined)

@@ -5,6 +5,21 @@
 //! `EXPERIMENTS.md`): 100 ms dummy tasks, 30 s ack timeout, ~7.26 s
 //! rebalance command, multi-second worker JVM spawn delays, and a Redis
 //! round-trip that checkpoints 2 000 events in ~100 ms.
+//!
+//! Store pricing has two layers. [`StoreLatencyModel`] is the *service
+//! time* of one persist/fetch (`base + per_event × pending`, the paper's
+//! micro-benchmark calibration). [`StoreServiceModel`] decides what
+//! concurrent load does to that service time: the zero-queueing
+//! compatibility mode ([`StoreServiceModel::Unqueued`]) prices every
+//! operation independently — the historical behaviour, under which an
+//! arbitrarily wide parallel wave is free — while
+//! [`StoreServiceModel::FifoPerShard`] runs each store shard as a FIFO
+//! single-server queue, so operations admitted against a busy shard wait
+//! for the shard's `busy_until` horizon first. Queueing is what makes the
+//! derived per-shard wave window
+//! ([`EngineConfig::derived_fan_out`]) an actual fairness bound rather
+//! than bookkeeping: over-wide windows now queue, and shard-count sweeps
+//! produce contention curves instead of flat lines.
 
 use flowmig_sim::{SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
@@ -37,6 +52,37 @@ impl Default for StoreLatencyModel {
             base: SimDuration::from_micros(500),
             per_event: SimDuration::from_micros(50),
         }
+    }
+}
+
+/// How the checkpoint store serves *concurrent* operations against one
+/// shard — the load model layered on top of [`StoreLatencyModel`]'s
+/// per-operation service time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StoreServiceModel {
+    /// Zero-queueing compatibility mode: every operation completes after
+    /// exactly its service time, no matter how many others are in flight
+    /// on the same shard. This is the historical engine behaviour (and
+    /// the default) — byte-identical timelines to the pre-queueing cost
+    /// model — but it is optimistic: a single shard serving 192
+    /// simultaneous persists is priced the same as 8 shards serving 24
+    /// each.
+    #[default]
+    Unqueued,
+    /// Per-shard FIFO single-server queue: each shard tracks a
+    /// `busy_until` horizon, an operation admitted at `now` starts at
+    /// `max(now, busy_until)` and completes one service time later, and
+    /// the shard's horizon advances to that completion. Operations on a
+    /// saturated shard therefore wait in line — the state-store
+    /// contention that Elasticutor and the elasticity surveys identify
+    /// as the dominant cost of live migration at scale.
+    FifoPerShard,
+}
+
+impl StoreServiceModel {
+    /// Whether this model makes concurrent same-shard operations wait.
+    pub fn queues(self) -> bool {
+        matches!(self, StoreServiceModel::FifoPerShard)
     }
 }
 
@@ -80,8 +126,14 @@ pub struct EngineConfig {
     pub net_latency_local: SimDuration,
     /// Network latency between instances on different VMs.
     pub net_latency_remote: SimDuration,
-    /// State-store (Redis) latency model.
+    /// State-store (Redis) latency model: the service time of one
+    /// persist/fetch operation.
     pub store: StoreLatencyModel,
+    /// What concurrent load does to store operations: the zero-queueing
+    /// compatibility default, or per-shard FIFO service queues
+    /// ([`StoreServiceModel::FifoPerShard`]) under which a saturated
+    /// shard makes later operations wait.
+    pub store_service: StoreServiceModel,
     /// Number of shards the checkpoint store is partitioned into (instances
     /// hash to shards by index; per-shard counters price COMMIT waves).
     /// Must be at least 1.
@@ -134,6 +186,7 @@ impl Default for EngineConfig {
             net_latency_local: SimDuration::from_micros(200),
             net_latency_remote: SimDuration::from_micros(1_500),
             store: StoreLatencyModel::default(),
+            store_service: StoreServiceModel::default(),
             store_shards: crate::store::ShardedStateStore::DEFAULT_SHARDS,
             wave_fan_out: 0,
             max_spout_pending: 60,
@@ -196,6 +249,15 @@ mod tests {
     fn empty_blob_costs_base_only() {
         let store = StoreLatencyModel::default();
         assert_eq!(store.op_cost(0), store.base);
+    }
+
+    #[test]
+    fn service_model_defaults_to_zero_queueing_compatibility() {
+        // The compatibility mode is what keeps the pinned default
+        // determinism traces byte-identical to the pre-queueing engine.
+        assert_eq!(EngineConfig::default().store_service, StoreServiceModel::Unqueued);
+        assert!(!StoreServiceModel::Unqueued.queues());
+        assert!(StoreServiceModel::FifoPerShard.queues());
     }
 
     #[test]

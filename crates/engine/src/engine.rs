@@ -804,6 +804,37 @@ impl EngineModel {
         self.wave_routing.get(&kind).copied().unwrap_or(WaveRouting::Sequential).discipline()
     }
 
+    /// Prices one store round-trip for `instance`: the latency model's
+    /// service time for `pending_events`, admitted through the instance's
+    /// shard queue under [`EngineConfig::store_service`]. Under per-shard
+    /// FIFO queueing a saturated shard delays the operation; the wait is
+    /// surfaced in [`EngineStats`] and as a
+    /// [`TraceEvent::StoreQueueWait`] so contention is observable rather
+    /// than silently absorbed.
+    fn store_admit(
+        &mut self,
+        instance: usize,
+        pending_events: usize,
+        sched: &mut Scheduler<'_, Ev>,
+    ) -> SimDuration {
+        let iid = InstanceId::from_index(instance);
+        let service = self.config.store.op_cost(pending_events);
+        let now = sched.now();
+        let delay = self.store.admit(iid, now, service, self.config.store_service);
+        let wait = delay - service;
+        if !wait.is_zero() {
+            self.stats.store_ops_queued += 1;
+            self.stats.store_wait_us += wait.as_micros();
+            self.trace.record(TraceEvent::StoreQueueWait {
+                instance: iid,
+                shard: self.store.shard_of(iid),
+                wait,
+                at: now,
+            });
+        }
+        delay
+    }
+
     /// After an instance concludes its part in a parallel `kind` wave,
     /// injects the next queued instance of the same store shard — the
     /// per-shard completion aggregation that keeps at most `fan_out`
@@ -916,13 +947,14 @@ impl EngineModel {
                     }
                     self.runtimes[instance].seen.clear(ControlKind::Commit);
                 }
-                // Second half: persist to the state store (latency charged).
+                // Second half: persist to the state store (service time
+                // plus any per-shard queueing delay).
                 let pending_len = if self.protocol.persist_pending {
                     self.runtimes[instance].pending.len()
                 } else {
                     0
                 };
-                let cost = self.config.store.op_cost(pending_len);
+                let cost = self.store_admit(instance, pending_len, sched);
                 self.runtimes[instance].current = Some(Work::Persist(c));
                 sched.after(cost, Ev::Finish { instance });
             }
@@ -930,20 +962,24 @@ impl EngineModel {
                 if self.already_acked(ControlKind::Rollback, instance) {
                     return;
                 }
-                let rt = &mut self.runtimes[instance];
-                rt.capture = false;
-                rt.prepared = None;
-                rt.seen.clear(ControlKind::Prepare);
-                rt.seen.clear(ControlKind::Commit);
-                // Captured events resume processing locally, oldest first.
-                for d in rt.pending.drain(..).rev().collect::<Vec<_>>() {
-                    rt.queue.push_front(QueueItem::Data(d));
-                }
-                if !rt.initialized {
+                let needs_restore = {
+                    let rt = &mut self.runtimes[instance];
+                    rt.capture = false;
+                    rt.prepared = None;
+                    rt.seen.clear(ControlKind::Prepare);
+                    rt.seen.clear(ControlKind::Commit);
+                    // Captured events resume processing locally, oldest
+                    // first.
+                    for d in rt.pending.drain(..).rev().collect::<Vec<_>>() {
+                        rt.queue.push_front(QueueItem::Data(d));
+                    }
+                    !rt.initialized
+                };
+                if needs_restore {
                     // Storm's rollback semantics: re-init from the last
                     // committed state.
-                    let cost = self.config.store.op_cost(0);
-                    rt.current = Some(Work::Restore(c));
+                    let cost = self.store_admit(instance, 0, sched);
+                    self.runtimes[instance].current = Some(Work::Restore(c));
                     sched.after(cost, Ev::Finish { instance });
                     return;
                 }
@@ -963,7 +999,7 @@ impl EngineModel {
                 }
                 let stored_pending =
                     self.store.peek_pending_len(InstanceId::from_index(instance)).unwrap_or(0);
-                let cost = self.config.store.op_cost(stored_pending);
+                let cost = self.store_admit(instance, stored_pending, sched);
                 self.runtimes[instance].current = Some(Work::Restore(c));
                 sched.after(cost, Ev::Finish { instance });
             }

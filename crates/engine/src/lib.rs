@@ -20,7 +20,10 @@
 //!   resumed);
 //! * a latency-modelled, sharded **state store** ([`ShardedStateStore`]
 //!   behind the [`StateStore`] facade — the paper's Redis, partitioned for
-//!   per-shard COMMIT-wave accounting);
+//!   per-shard COMMIT-wave accounting), with a pluggable service model
+//!   ([`StoreServiceModel`]): zero-queueing compatibility pricing or
+//!   per-shard FIFO queues under which a saturated shard makes
+//!   concurrent operations wait;
 //! * **rebalance** (kill + respawn with worker start-up delays) and failure
 //!   injection.
 //!
@@ -43,7 +46,7 @@ mod stats;
 mod store;
 
 pub use acker::{AckOutcome, Acker};
-pub use config::{EngineConfig, StoreLatencyModel};
+pub use config::{EngineConfig, StoreLatencyModel, StoreServiceModel};
 pub use engine::{Engine, EngineCtl};
 pub use event::{ControlEvent, ControlSender, DataEvent, QueueItem};
 pub use instance::WorkerStatus;

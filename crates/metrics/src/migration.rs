@@ -42,6 +42,11 @@ pub struct MigrationMetrics {
     /// Span of the Restore phase alone (rebalance completion → INIT wave
     /// fully acked), the other half of the parallel-wave critical path.
     pub restore_wave: Option<SimDuration>,
+    /// Total time store operations spent waiting in per-shard FIFO
+    /// queues over the whole run — the contention the parallel-wave
+    /// windows are fighting. `None` when nothing queued (always the case
+    /// under the zero-queueing store model).
+    pub store_wait: Option<SimDuration>,
 }
 
 impl MigrationMetrics {
@@ -81,6 +86,7 @@ impl MigrationMetrics {
         let stabilization = find_stabilization(&timeline, criteria, req).map(rel);
         let commit_wave = log.phase_span(MigrationPhase::Commit).map(|(s, e)| e - s);
         let restore_wave = log.phase_span(MigrationPhase::Restore).map(|(s, e)| e - s);
+        let store_wait = Some(log.store_queue_wait()).filter(|w| !w.is_zero());
 
         MigrationMetrics {
             restore,
@@ -93,6 +99,7 @@ impl MigrationMetrics {
             dropped_messages: log.dropped_count(),
             commit_wave,
             restore_wave,
+            store_wait,
         }
     }
 
@@ -115,7 +122,7 @@ impl fmt::Display for MigrationMetrics {
         write!(
             f,
             "restore={} drain={} rebalance={} catchup={} recovery={} stabilization={} \
-             commit_wave={} restore_wave={} replayed={} dropped={}",
+             commit_wave={} restore_wave={} store_wait={} replayed={} dropped={}",
             fmt_opt(self.restore),
             fmt_opt(self.drain_capture),
             fmt_opt(self.rebalance),
@@ -124,6 +131,7 @@ impl fmt::Display for MigrationMetrics {
             fmt_opt(self.stabilization),
             fmt_opt(self.commit_wave),
             fmt_opt(self.restore_wave),
+            fmt_opt(self.store_wait),
             self.replayed_messages,
             self.dropped_messages,
         )
@@ -256,7 +264,41 @@ mod tests {
         let m = MigrationMetrics::default();
         let s = m.to_string();
         assert!(s.contains("restore=-"));
+        assert!(s.contains("store_wait=-"));
         assert!(s.contains("replayed=0"));
+    }
+
+    #[test]
+    fn store_wait_sums_queue_events_and_stays_none_without_them() {
+        use flowmig_topology::InstanceId;
+        let mut log = TraceLog::new();
+        log.record(TraceEvent::MigrationRequested { at: t(10) });
+        let quiet = MigrationMetrics::from_trace(
+            &log,
+            &StabilityCriteria::paper(8.0),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(quiet.store_wait, None, "no queueing events → no span");
+
+        log.record(TraceEvent::StoreQueueWait {
+            instance: InstanceId::from_index(1),
+            shard: 1,
+            wait: SimDuration::from_millis(3),
+            at: t(11),
+        });
+        log.record(TraceEvent::StoreQueueWait {
+            instance: InstanceId::from_index(9),
+            shard: 1,
+            wait: SimDuration::from_millis(7),
+            at: t(12),
+        });
+        let m = MigrationMetrics::from_trace(
+            &log,
+            &StabilityCriteria::paper(8.0),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(m.store_wait, Some(SimDuration::from_millis(10)));
+        assert_eq!(log.store_queued_ops(), 2);
     }
 
     #[test]

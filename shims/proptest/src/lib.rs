@@ -2,9 +2,10 @@
 //!
 //! The build environment has no registry access, so this crate implements
 //! the subset of proptest the test suite uses: the [`proptest!`] macro,
-//! [`strategy::Strategy`] with `prop_map`, range and [`strategy::Just`]
-//! strategies, [`collection::vec`], [`prop_oneof!`], the `prop_assert*`
-//! macros, and [`test_runner::ProptestConfig`] with `with_cases`.
+//! [`strategy::Strategy`] with `prop_map`, range, tuple (2–4 elements)
+//! and [`strategy::Just`] strategies, [`collection::vec`],
+//! [`prop_oneof!`], the `prop_assert*` macros, and
+//! [`test_runner::ProptestConfig`] with `with_cases`.
 //!
 //! Differences from the real crate, deliberately accepted:
 //!
@@ -92,6 +93,23 @@ pub mod strategy {
             self.options[i].new_value(rng)
         }
     }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
 
     macro_rules! impl_range_strategy_uint {
         ($($t:ty),*) => {$(

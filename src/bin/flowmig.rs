@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! USAGE:
-//!   flowmig [--dag NAME] [--strategy dsm|dcr|ccr|ccr-pipelined]
+//!   flowmig [--dag NAME] [--strategy dsm|dcr|dcr-parallel-init|ccr|ccr-pipelined]
 //!           [--direction in|out] [--seed N] [--request-secs N]
 //!           [--horizon-secs N] [--shards N] [--parallel-waves FANOUT]
-//!           [--csv throughput|latency]
+//!           [--store-queueing] [--csv throughput|latency]
 //! ```
 //!
 //! Prints the §4 metrics for one run of the paper's protocol, or a CSV
@@ -27,6 +27,7 @@ struct Args {
     horizon_secs: u64,
     shards: Option<usize>,
     parallel_waves: Option<usize>,
+    store_queueing: bool,
     csv: Option<String>,
 }
 
@@ -37,6 +38,7 @@ fn usage() -> ExitCode {
          [--strategy {}] [--direction in|out] [--seed N] \
          [--request-secs N] [--horizon-secs N] [--shards N] \
          [--parallel-waves FANOUT (0 = derived from store shards)] \
+         [--store-queueing (per-shard FIFO store contention)] \
          [--csv throughput|latency]\n\nstrategies:",
         names.join("|")
     );
@@ -56,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         horizon_secs: 720,
         shards: None,
         parallel_waves: None,
+        store_queueing: false,
         csv: None,
     };
     let mut it = std::env::args().skip(1);
@@ -89,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
                 args.parallel_waves =
                     Some(value()?.parse().map_err(|e| format!("bad fan-out: {e}"))?)
             }
+            "--store-queueing" => args.store_queueing = true,
             "--csv" => args.csv = Some(value()?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -141,6 +145,9 @@ fn main() -> ExitCode {
     if let Some(shards) = args.shards {
         controller = controller.with_store_shards(shards);
     }
+    if args.store_queueing {
+        controller = controller.with_store_service(StoreServiceModel::FifoPerShard);
+    }
     // One registry lookup covers parsing, listing and construction: any
     // plan registered in flowmig-core is runnable here by its cli name.
     let Some(info) = strategy_named(&args.strategy) else {
@@ -189,5 +196,14 @@ fn main() -> ExitCode {
         "  reliability:   {} dropped, {} roots replayed, {} captured",
         outcome.stats.events_dropped, outcome.stats.replayed_roots, outcome.stats.events_captured
     );
+    if args.store_queueing {
+        let max_depth = outcome.shard_stats.iter().map(|s| s.max_queue_depth).max().unwrap_or(0);
+        println!(
+            "  store queue:   {} ops waited {:.2} ms total (max shard depth {})",
+            outcome.stats.store_ops_queued,
+            outcome.stats.store_wait_us as f64 / 1e3,
+            max_depth,
+        );
+    }
     ExitCode::SUCCESS
 }

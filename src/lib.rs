@@ -64,7 +64,9 @@ pub mod prelude {
     pub use flowmig_core::{
         Ccr, Dcr, Dsm, MigrationController, MigrationOutcome, MigrationStrategy, StrategyKind,
     };
-    pub use flowmig_engine::{Engine, EngineConfig, EngineStats, ProtocolConfig, WorkerStatus};
+    pub use flowmig_engine::{
+        Engine, EngineConfig, EngineStats, ProtocolConfig, StoreServiceModel, WorkerStatus,
+    };
     pub use flowmig_metrics::{
         find_stabilization, latency_samples_ms, percentile, LatencyTimeline, MigrationMetrics,
         MigrationPhase, RateTimeline, StabilityCriteria, Summary, TraceEvent, TraceLog,

@@ -10,7 +10,7 @@
 //! (`plan_driven_strategies_reproduce_the_hardcoded_coordinator_traces`),
 //! so the plan IR cannot silently reshape a default timeline.
 
-use flowmig::core::CcrPipelined;
+use flowmig::core::{CcrPipelined, DcrParallelInit};
 use flowmig::prelude::*;
 
 /// FNV-1a over the debug rendering of every trace event — a stable,
@@ -204,6 +204,50 @@ fn ccr_pipelined_matrix_is_pinned_and_deterministic() {
             .unwrap_or_else(|| panic!("no pin for {}", dag.name()));
         assert_eq!(trace_hash(&first.trace), pinned.1, "CCR-P timeline drifted on {}", dag.name());
     }
+}
+
+/// The `DcrParallelInit` matrix, pinned: sequential PREPARE/COMMIT (the
+/// full drain guarantee) with only the INIT wave `Parallel { fan_out: 0 }`
+/// (window derived from the 8-shard default store), across all five paper
+/// DAGs. Run-twice equality guards nondeterminism; the pinned hashes guard
+/// timeline drift. Mismatches are collected and reported together so one
+/// run shows the whole matrix.
+#[test]
+fn dcr_parallel_init_matrix_is_pinned_and_deterministic() {
+    const PINNED: [(&str, u64); 5] = [
+        ("linear", 0x7d0ebf7c824a502c),
+        ("diamond", 0xe79e0858feacd7eb),
+        ("star", 0xccd25e42b0052129),
+        ("grid", 0xd5dfc727886d0f9b),
+        ("traffic", 0xdc51cac38802b7a4),
+    ];
+    let mut mismatches = Vec::new();
+    for dag in dags() {
+        let first = controller(7)
+            .run(&dag, &DcrParallelInit::new(), ScaleDirection::In)
+            .expect("paper scenario placeable");
+        let second = controller(7)
+            .run(&dag, &DcrParallelInit::new(), ScaleDirection::In)
+            .expect("paper scenario placeable");
+        assert_eq!(first.stats, second.stats, "stats diverged: DCR-PI on {}", dag.name());
+        assert_eq!(first.trace, second.trace, "trace diverged: DCR-PI on {}", dag.name());
+        assert!(first.completed, "DCR-PI completes on {}", dag.name());
+        assert_eq!(first.stats.events_dropped, 0, "DCR-PI loses nothing on {}", dag.name());
+        assert_eq!(first.stats.replayed_roots, 0, "DCR-PI replays nothing on {}", dag.name());
+        let pinned = PINNED
+            .iter()
+            .find(|(d, _)| *d == dag.name())
+            .unwrap_or_else(|| panic!("no pin for {}", dag.name()));
+        let hash = trace_hash(&first.trace);
+        if hash != pinned.1 {
+            mismatches.push(format!("(\"{}\", {hash:#018x})", dag.name()));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "DCR-PI timelines drifted; actual hashes:\n{}",
+        mismatches.join(",\n")
+    );
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests over the core data structures and protocols.
 
-use flowmig::engine::{AckOutcome, Acker};
+use flowmig::core::CcrPipelined;
+use flowmig::engine::{AckOutcome, Acker, ShardedStateStore};
 use flowmig::metrics::RootId;
 use flowmig::prelude::*;
 use proptest::prelude::*;
@@ -99,6 +100,101 @@ proptest! {
         prop_assert!(acker.is_pending(root), "tree with a missing ack stays pending");
         let expired = acker.expire(SimTime::from_secs(30));
         prop_assert_eq!(expired, vec![root]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Store shard-queue properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// For any admission sequence, the per-shard FIFO queue never reorders
+    /// completions, never charges less than the service time, and its
+    /// accounting (queued waits, depth high-water marks) adds up exactly.
+    #[test]
+    fn fifo_shard_queue_completions_are_non_decreasing(
+        shards in 1usize..9,
+        ops in proptest::collection::vec(
+            // (instance index, gap to previous admission µs, service µs)
+            (0usize..32, 0u64..2_000, 1u64..1_500),
+            1..64,
+        ),
+    ) {
+        let mut store = ShardedStateStore::with_shards(shards);
+        let mut flat = ShardedStateStore::with_shards(shards);
+        let mut now = SimTime::ZERO;
+        let mut last_completion = vec![SimTime::ZERO; shards];
+        let mut expected_wait = SimDuration::ZERO;
+        for &(idx, gap, service_us) in &ops {
+            now += SimDuration::from_micros(gap);
+            let i = flowmig::topology::InstanceId::from_index(idx);
+            let service = SimDuration::from_micros(service_us);
+            let delay = store.admit(i, now, service, StoreServiceModel::FifoPerShard);
+            let baseline = flat.admit(i, now, service, StoreServiceModel::Unqueued);
+            // Queueing is a strict extension of the flat model…
+            prop_assert_eq!(baseline, service);
+            prop_assert!(delay >= service, "an op never beats its service time");
+            expected_wait += delay - service;
+            // …and per-shard completions never reorder.
+            let shard = store.shard_of(i);
+            let completion = now + delay;
+            prop_assert!(
+                completion >= last_completion[shard],
+                "shard {} completion reordered", shard
+            );
+            last_completion[shard] = completion;
+        }
+        let total_wait = store.queued_wait();
+        prop_assert_eq!(total_wait, expected_wait, "shard wait accounting adds up");
+        let queued = store.queued_ops();
+        prop_assert!(queued as usize <= ops.len());
+        let depth = store.max_queue_depth();
+        prop_assert!((1..=ops.len()).contains(&depth), "depth high-water within bounds");
+        // The flat store observed the same admissions, so its depth mark
+        // is at least as deep (its ops never leave earlier than FIFO ones
+        // start... they complete at now+service, which is <= the FIFO
+        // completion, so its window can only be shallower or equal).
+        prop_assert!(flat.max_queue_depth() <= depth);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any seed and shard count, a migration's checkpoint critical
+    /// path (COMMIT + restore spans) under per-shard FIFO queueing is at
+    /// least as long as under the zero-queueing compatibility model — the
+    /// queueing path only ever adds waiting.
+    #[test]
+    fn wave_spans_under_queueing_dominate_the_flat_model(
+        seed in 0u64..1_000,
+        shards in 1usize..10,
+    ) {
+        let run = |model| {
+            MigrationController::new()
+                .with_request_at(SimTime::from_secs(60))
+                .with_horizon(SimTime::from_secs(400))
+                .with_store_shards(shards)
+                .with_store_service(model)
+                .with_seed(seed)
+                .run(&library::grid(), &CcrPipelined::new(), ScaleDirection::In)
+                .expect("paper scenario placeable")
+        };
+        let fifo = run(StoreServiceModel::FifoPerShard);
+        let flat = run(StoreServiceModel::Unqueued);
+        prop_assert!(fifo.completed && flat.completed);
+        let span = |o: &MigrationOutcome| {
+            o.metrics.commit_wave.unwrap_or(SimDuration::ZERO)
+                + o.metrics.restore_wave.unwrap_or(SimDuration::ZERO)
+        };
+        prop_assert!(
+            span(&fifo) >= span(&flat),
+            "queueing shortened the wave: fifo {} < flat {} (seed {}, {} shards)",
+            span(&fifo), span(&flat), seed, shards
+        );
+        // Reliability must not depend on the pricing model.
+        prop_assert_eq!(fifo.stats.events_dropped, 0);
+        prop_assert_eq!(fifo.stats.replayed_roots, 0);
     }
 }
 
