@@ -37,11 +37,19 @@
 //!   gate — the 192-instance/1-shard `CCR-P` row *not* penalized vs
 //!   8 shards under FIFO queueing (which would mean contention no longer
 //!   binds).
+//!
+//! The replication rows re-run CCR-P at 96 instances / 8 shards with a
+//! 3-replica store at write quorum 2 vs 3, and two realism-tier tripwires
+//! guard the store failure model: a quorum-2-of-3 COMMIT must be strictly
+//! cheaper than waiting on all 3 replicas (the whole point of a quorum),
+//! and a 1-shard outage spanning the COMMIT window must abort the
+//! migration down the ROLLBACK path rather than complete or wedge.
 
 use flowmig_bench::{banner, BENCH_SEEDS};
 use flowmig_cluster::ScaleDirection;
 use flowmig_core::{strategies, Ccr, CcrPipelined, Dcr, MigrationController, MigrationStrategy};
 use flowmig_engine::{EngineConfig, StoreServiceModel};
+use flowmig_metrics::{ControlKind, TraceEvent};
 use flowmig_sim::{SimDuration, SimTime};
 use flowmig_topology::library;
 use flowmig_workloads::TextTable;
@@ -64,6 +72,9 @@ struct Cell {
     strategy: &'static str,
     waves: &'static str,
     store: &'static str,
+    /// Replication label: `-` for the unreplicated rows, else `KofN`
+    /// (write quorum K over N replicas per shard).
+    replication: String,
     commit_ms: f64,
     restore_ms: f64,
     wall_ms: f64,
@@ -85,6 +96,7 @@ fn store_label(service: StoreServiceModel) -> &'static str {
     match service {
         StoreServiceModel::Unqueued => "flat",
         StoreServiceModel::FifoPerShard => "fifo",
+        StoreServiceModel::SoftDegrade => "soft",
     }
 }
 
@@ -112,14 +124,27 @@ fn measure(
     waves: &'static str,
     service: StoreServiceModel,
 ) -> Cell {
+    measure_replicated(width, shards, strategy, waves, service, None)
+}
+
+fn measure_replicated(
+    width: usize,
+    shards: usize,
+    strategy: &dyn MigrationStrategy,
+    waves: &'static str,
+    service: StoreServiceModel,
+    replication: Option<(usize, usize)>,
+) -> Cell {
     let dag = library::grid_scaled(width);
     let (mut commit, mut restore, mut wall) = (0.0, 0.0, 0.0);
     let (mut queued_wait, mut queued_ops, mut max_depth) = (0.0, 0.0, 0.0);
     for &seed in &BENCH_SEEDS {
         let started = Instant::now();
-        let out = controller(shards, seed, service)
-            .run(&dag, strategy, ScaleDirection::In)
-            .expect("scaled grid placeable");
+        let mut c = controller(shards, seed, service);
+        if let Some((replicas, quorum)) = replication {
+            c = c.with_store_replication(replicas, quorum);
+        }
+        let out = c.run(&dag, strategy, ScaleDirection::In).expect("scaled grid placeable");
         wall += started.elapsed().as_secs_f64() * 1e3;
         assert!(out.completed, "migration completes ({} {waves} w{width} s{shards})", out.strategy);
         assert_eq!(out.stats.events_dropped, 0, "reliable migration drops nothing");
@@ -137,6 +162,7 @@ fn measure(
         strategy: strategy.name(),
         waves,
         store: store_label(service),
+        replication: replication.map_or_else(|| "-".to_owned(), |(n, k)| format!("{k}of{n}")),
         commit_ms: commit / n,
         restore_ms: restore / n,
         wall_ms: wall / n,
@@ -156,7 +182,8 @@ fn export_json(cells: &[Cell]) {
         let _ = write!(
             row,
             "  {{\"dag\": \"{}\", \"participants\": {}, \"shards\": {}, \"strategy\": \"{}\", \
-             \"waves\": \"{}\", \"store\": \"{}\", \"commit_ms\": {:.3}, \"restore_ms\": {:.3}, \
+             \"waves\": \"{}\", \"store\": \"{}\", \"replication\": \"{}\", \
+             \"commit_ms\": {:.3}, \"restore_ms\": {:.3}, \
              \"total_ms\": {:.3}, \"wall_ms\": {:.3}, \"queued_wait_ms\": {:.3}, \
              \"queued_ops\": {:.1}, \"max_queue_depth\": {:.1}}}",
             c.dag,
@@ -165,6 +192,7 @@ fn export_json(cells: &[Cell]) {
             c.strategy,
             c.waves,
             c.store,
+            c.replication,
             c.commit_ms,
             c.restore_ms,
             c.total_ms(),
@@ -197,8 +225,13 @@ fn find<'a>(
                 && c.strategy == strategy
                 && c.waves == waves
                 && c.store == store
+                && c.replication == "-"
         })
         .expect("cell measured")
+}
+
+fn find_replicated<'a>(cells: &'a [Cell], replication: &str) -> &'a Cell {
+    cells.iter().find(|c| c.replication == replication).expect("replicated cell measured")
 }
 
 /// CI gate for the plan IR: every registry strategy's plan must pass the
@@ -254,6 +287,20 @@ fn main() {
             cells.push(measure(width, shards, &CcrPipelined::new(), "pipelined", fifo));
         }
     }
+    // Replication rows: CCR-P at the headline point (96 instances /
+    // 8 shards) with a 3-replica store, quorum 2 vs quorum 3. The quorum-2
+    // persist completes at the 2nd-fastest replica; quorum 3 waits for the
+    // slowest rung of the lag ladder.
+    for quorum in [2, 3] {
+        cells.push(measure_replicated(
+            6,
+            8,
+            &CcrPipelined::new(),
+            "pipelined",
+            flat,
+            Some((3, quorum)),
+        ));
+    }
 
     let mut table = TextTable::new(&[
         "DAG",
@@ -262,6 +309,7 @@ fn main() {
         "strategy",
         "waves",
         "store",
+        "repl",
         "commit (ms)",
         "restore (ms)",
         "commit+restore (ms)",
@@ -277,6 +325,7 @@ fn main() {
             c.strategy.to_owned(),
             c.waves.to_owned(),
             c.store.to_owned(),
+            c.replication.clone(),
             format!("{:.2}", c.commit_ms),
             format!("{:.2}", c.restore_ms),
             format!("{:.2}", c.total_ms()),
@@ -376,9 +425,60 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Replication tripwire: the quorum-2-of-3 COMMIT must be strictly
+    // cheaper than waiting on all 3 replicas — if it is not, the quorum
+    // pricing has stopped selecting the k-th fastest completion and the
+    // replication model is broken.
+    {
+        let q2 = find_replicated(&cells, "2of3");
+        let q3 = find_replicated(&cells, "3of3");
+        println!(
+            "CCR-P @ 96 instances, 8 shards, 3 replicas: quorum 2 commit {:.2} ms vs \
+             quorum 3 commit {:.2} ms",
+            q2.commit_ms, q3.commit_ms,
+        );
+        if q2.commit_ms >= q3.commit_ms {
+            eprintln!(
+                "REPLICATION REGRESSION: quorum-2-of-3 COMMIT ({:.2} ms) is not cheaper than \
+                 the full 3-replica wait ({:.2} ms) — quorum pricing no longer binds",
+                q2.commit_ms, q3.commit_ms,
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // Failure tripwire: a full shard-0 outage spanning the COMMIT window
+    // must abort the migration through ROLLBACK. Run directly (not via
+    // `measure`, which asserts completion): if the run completes anyway,
+    // or no ROLLBACK wave is traced, the failure model is broken.
+    {
+        let out = controller(8, BENCH_SEEDS[0], flat)
+            .with_shard_outage(0, SimTime::from_secs(25), SimDuration::from_secs(60))
+            .run(&library::grid_scaled(6), &CcrPipelined::new(), ScaleDirection::In)
+            .expect("scaled grid placeable");
+        let rollbacks = out
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ControlWave { kind: ControlKind::Rollback, .. }))
+            .count();
+        println!(
+            "CCR-P @ 96 instances with shard 0 down across COMMIT: completed={} \
+             rollback_waves={rollbacks} failed_ops={}",
+            out.completed, out.stats.store_ops_failed,
+        );
+        if out.completed || rollbacks == 0 {
+            eprintln!(
+                "FAILURE-MODEL REGRESSION: a 1-shard outage across the COMMIT window did not \
+                 abort through ROLLBACK (completed={}, rollback_waves={rollbacks})",
+                out.completed,
+            );
+            std::process::exit(1);
+        }
+    }
     println!(
         "shape checks passed: parallel COMMIT beats sequential at {} instances, >=3x total \
-         at 96/8, and 1-shard contention binds under the fifo store",
+         at 96/8, 1-shard contention binds under the fifo store, quorum-2 persists beat the \
+         full-replica wait, and a mid-COMMIT shard outage aborts through ROLLBACK",
         16 * widest
     );
 }

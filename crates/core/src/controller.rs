@@ -2,7 +2,9 @@
 
 use crate::strategy::MigrationStrategy;
 use flowmig_cluster::{ScaleDirection, ScalePlan, ScheduleError};
-use flowmig_engine::{Engine, EngineConfig, EngineStats, ShardStats, StoreServiceModel};
+use flowmig_engine::{
+    Engine, EngineConfig, EngineStats, ShardStats, StoreReplication, StoreServiceModel,
+};
 use flowmig_metrics::{MigrationMetrics, StabilityCriteria, TraceLog};
 use flowmig_sim::{SimDuration, SimTime};
 use flowmig_topology::{Dataflow, InstanceSet, RatePlan};
@@ -53,6 +55,9 @@ pub struct MigrationController {
     horizon: SimTime,
     bucket: SimDuration,
     seed: u64,
+    /// Scheduled shard outages: `(shard, down_replicas, at, downtime)`,
+    /// applied to the engine before the run starts.
+    shard_outages: Vec<(usize, usize, SimTime, SimDuration)>,
 }
 
 impl Default for MigrationController {
@@ -63,6 +68,7 @@ impl Default for MigrationController {
             horizon: SimTime::from_secs(720),
             bucket: SimDuration::from_secs(10),
             seed: 42,
+            shard_outages: Vec::new(),
         }
     }
 }
@@ -119,6 +125,45 @@ impl MigrationController {
     pub fn with_wave_fan_out(mut self, fan_out: usize) -> Self {
         assert!(fan_out > 0, "a parallel wave needs a window of at least 1");
         self.engine_config.wave_fan_out = fan_out;
+        self
+    }
+
+    /// Replicates the checkpoint store: every persist becomes a quorum
+    /// write over `replicas` per-shard replicas and completes at the
+    /// `write_quorum`-th fastest one (see
+    /// [`flowmig_engine::StoreReplication`]). The default (1, 1) is the
+    /// historical unreplicated store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero or `write_quorum` is not in
+    /// `1..=replicas`.
+    pub fn with_store_replication(mut self, replicas: usize, write_quorum: usize) -> Self {
+        self.engine_config.store_replication = StoreReplication::new(replicas, write_quorum);
+        self
+    }
+
+    /// Schedules a full store-shard outage: every replica of `shard` goes
+    /// down at `at` and recovers `downtime` later (see
+    /// [`flowmig_engine::Engine::schedule_shard_outage`]). May be called
+    /// multiple times for multiple outages.
+    pub fn with_shard_outage(mut self, shard: usize, at: SimTime, downtime: SimDuration) -> Self {
+        self.shard_outages.push((shard, usize::MAX, at, downtime));
+        self
+    }
+
+    /// Schedules a partial shard outage: `down` replicas of `shard` (the
+    /// fastest first) go down at `at` and recover `downtime` later. With
+    /// replication configured, persists whose quorum fits in the
+    /// survivors complete degraded instead of failing.
+    pub fn with_shard_degradation(
+        mut self,
+        shard: usize,
+        down: usize,
+        at: SimTime,
+        downtime: SimDuration,
+    ) -> Self {
+        self.shard_outages.push((shard, down, at, downtime));
         self
     }
 
@@ -188,6 +233,9 @@ impl MigrationController {
             self.seed,
         );
         engine.schedule_migration(self.request_at);
+        for &(shard, down, at, downtime) in &self.shard_outages {
+            engine.schedule_shard_degradation(shard, down, at, downtime);
+        }
         engine.run_until(self.horizon);
 
         let stats = *engine.stats();
@@ -333,6 +381,71 @@ mod tests {
         assert_eq!(one.stats.events_dropped, 0);
         assert_eq!(one.stats.replayed_roots, 0);
         assert_eq!(one.stats.pending_replayed, one.stats.events_captured);
+    }
+
+    #[test]
+    fn quorum_replication_surfaces_end_to_end_and_beats_full_replica_waits() {
+        // The realism-tier accounting pattern: a 2-of-3 replicated store
+        // prices every persist as the 2nd-fastest replica (1.25× service),
+        // visible in engine counters, trace events, and §4 metrics — and
+        // the quorum's whole point holds: its checkpoint critical path is
+        // strictly cheaper than waiting on all 3 replicas.
+        let run = |quorum| {
+            MigrationController::new()
+                .with_request_at(SimTime::from_secs(60))
+                .with_horizon(SimTime::from_secs(400))
+                .with_store_replication(3, quorum)
+                .run(&library::grid(), &Ccr::new(), ScaleDirection::In)
+                .unwrap()
+        };
+        let q2 = run(2);
+        let q3 = run(3);
+        assert!(q2.completed && q3.completed);
+        assert!(q2.stats.store_quorum_persists > 0, "replicated persists counted");
+        assert_eq!(q2.stats.store_degraded_persists, 0, "no outage, nothing degraded");
+        assert_eq!(q2.stats.store_ops_failed, 0);
+        assert_eq!(
+            q2.stats.store_quorum_persists, q2.metrics.quorum_persists,
+            "engine counter and trace-derived metric agree"
+        );
+        assert_eq!(q2.trace.quorum_persists(), q2.stats.store_quorum_persists);
+        let commit = |o: &MigrationOutcome| o.metrics.commit_wave.expect("commit span");
+        assert!(
+            commit(&q2) < commit(&q3),
+            "2-of-3 quorum must beat the all-3 wait: {:?} vs {:?}",
+            commit(&q2),
+            commit(&q3)
+        );
+        // Reliability is untouched by the repricing.
+        assert_eq!(q2.stats.events_dropped, 0);
+        assert_eq!(q2.stats.replayed_roots, 0);
+    }
+
+    #[test]
+    fn degraded_quorum_keeps_the_migration_alive() {
+        // One replica of every shard is down for the whole migration
+        // window. With a 2-of-3 quorum the surviving replicas still
+        // satisfy every persist: the migration completes, but the
+        // degradation is visible in the counters and metrics.
+        let mut c = MigrationController::new()
+            .with_request_at(SimTime::from_secs(60))
+            .with_horizon(SimTime::from_secs(400))
+            .with_store_replication(3, 2);
+        for shard in 0..8 {
+            c = c.with_shard_degradation(
+                shard,
+                1,
+                SimTime::from_secs(50),
+                SimDuration::from_secs(300),
+            );
+        }
+        let out = c.run(&library::grid(), &Ccr::new(), ScaleDirection::In).unwrap();
+        assert!(out.completed, "a quorum-satisfying subset must let the migration complete");
+        assert_eq!(out.stats.store_ops_failed, 0, "nothing fell below quorum");
+        assert!(out.stats.store_degraded_persists > 0, "the degraded mode was exercised");
+        assert_eq!(out.stats.store_degraded_persists, out.metrics.degraded_persists);
+        assert!(out.metrics.shard_downtime.is_some(), "downtime surfaced in metrics");
+        assert_eq!(out.stats.events_dropped, 0, "reliability holds degraded");
     }
 
     #[test]

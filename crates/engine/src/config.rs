@@ -77,12 +77,92 @@ pub enum StoreServiceModel {
     /// contention that Elasticutor and the elasticity surveys identify
     /// as the dominant cost of live migration at scale.
     FifoPerShard,
+    /// M/M/1-style soft degradation: an operation admitted while `n`
+    /// others are still in flight on the same shard is served in
+    /// `service × (1 + n)` — the residence-time inflation of a processor-
+    /// sharing server at load, without FIFO's hard head-of-line blocking.
+    /// This is the shape of a Redis instance absorbing a too-wide COMMIT
+    /// wave: everything still completes, just increasingly slowly. The
+    /// inflation over the idle service time is surfaced through the same
+    /// queueing observables as FIFO waits.
+    SoftDegrade,
 }
 
 impl StoreServiceModel {
-    /// Whether this model makes concurrent same-shard operations wait.
+    /// Whether this model prices concurrent same-shard load at all —
+    /// FIFO makes operations wait in line, soft degradation inflates
+    /// their service time; only the zero-queueing compatibility mode
+    /// ignores concurrency.
     pub fn queues(self) -> bool {
-        matches!(self, StoreServiceModel::FifoPerShard)
+        matches!(self, StoreServiceModel::FifoPerShard | StoreServiceModel::SoftDegrade)
+    }
+}
+
+/// Replication of the checkpoint store: each shard is backed by `replicas`
+/// copies and a persist returns once `write_quorum` of them have applied
+/// it (the k-th fastest replica completion prices the operation).
+///
+/// Replica `0` is the shard's primary; replica `i` is priced `25 % × i`
+/// slower per operation ([`Self::replica_service`]) — the deterministic
+/// stand-in for a geo-spread or load-skewed replica set. Fetches are
+/// served by the fastest live replica. The default (1 replica, quorum 1)
+/// is the historical unreplicated store and prices identically to it.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_engine::StoreReplication;
+/// use flowmig_sim::SimDuration;
+///
+/// let r = StoreReplication::new(3, 2);
+/// assert!(r.is_replicated());
+/// // Quorum 2 of 3 completes with the 2nd replica: +25 % over the base.
+/// let service = SimDuration::from_micros(1_000);
+/// assert_eq!(r.replica_service(service, 1), SimDuration::from_micros(1_250));
+/// assert_eq!(StoreReplication::default(), StoreReplication::new(1, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StoreReplication {
+    /// Copies of each shard (≥ 1). `1` is the unreplicated historical
+    /// store.
+    pub replicas: usize,
+    /// Replica completions a persist waits for (1 ≤ quorum ≤ replicas).
+    pub write_quorum: usize,
+}
+
+impl Default for StoreReplication {
+    fn default() -> Self {
+        StoreReplication { replicas: 1, write_quorum: 1 }
+    }
+}
+
+impl StoreReplication {
+    /// A replication scheme with `replicas` copies and a `write_quorum`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero or `write_quorum` is not in
+    /// `1..=replicas`.
+    pub fn new(replicas: usize, write_quorum: usize) -> Self {
+        assert!(replicas >= 1, "a replicated store needs at least one replica");
+        assert!(
+            (1..=replicas).contains(&write_quorum),
+            "write quorum must be between 1 and the replica count"
+        );
+        StoreReplication { replicas, write_quorum }
+    }
+
+    /// Whether persists actually fan out (more than one replica).
+    pub fn is_replicated(&self) -> bool {
+        self.replicas > 1
+    }
+
+    /// Service time of replica `index` for a base `service`: the primary
+    /// (index 0) serves at the base rate, each further replica 25 % slower
+    /// per index — a deterministic replica-lag ladder, so quorum pricing
+    /// is reproducible without extra RNG draws.
+    pub fn replica_service(&self, service: SimDuration, index: usize) -> SimDuration {
+        SimDuration::from_micros(service.as_micros() + service.as_micros() * index as u64 / 4)
     }
 }
 
@@ -138,6 +218,11 @@ pub struct EngineConfig {
     /// hash to shards by index; per-shard counters price COMMIT waves).
     /// Must be at least 1.
     pub store_shards: usize,
+    /// Replication of each store shard: a persist is a quorum write over
+    /// `replicas` copies and is priced as the k-th fastest replica
+    /// completion. The default (1 replica, quorum 1) is the historical
+    /// unreplicated store with byte-identical timelines.
+    pub store_replication: StoreReplication,
     /// Per-shard concurrency window for
     /// [`WaveRouting::Parallel`](crate::WaveRouting::Parallel) waves: how
     /// many in-flight persist/fetch operations one store shard serves at a
@@ -188,6 +273,7 @@ impl Default for EngineConfig {
             store: StoreLatencyModel::default(),
             store_service: StoreServiceModel::default(),
             store_shards: crate::store::ShardedStateStore::DEFAULT_SHARDS,
+            store_replication: StoreReplication::default(),
             wave_fan_out: 0,
             max_spout_pending: 60,
             source_drain_interval: SimDuration::from_millis(10),
@@ -258,6 +344,46 @@ mod tests {
         assert_eq!(EngineConfig::default().store_service, StoreServiceModel::Unqueued);
         assert!(!StoreServiceModel::Unqueued.queues());
         assert!(StoreServiceModel::FifoPerShard.queues());
+        assert!(StoreServiceModel::SoftDegrade.queues());
+    }
+
+    #[test]
+    fn replication_defaults_to_the_unreplicated_store() {
+        let r = EngineConfig::default().store_replication;
+        assert_eq!(r, StoreReplication::default());
+        assert!(!r.is_replicated());
+        // The primary's service time is the base service time, so the
+        // default replication prices identically to the historical store.
+        let service = SimDuration::from_micros(777);
+        assert_eq!(r.replica_service(service, 0), service);
+    }
+
+    #[test]
+    fn replica_lag_ladder_is_25_percent_per_index() {
+        let r = StoreReplication::new(4, 3);
+        let service = SimDuration::from_micros(1_000);
+        assert_eq!(r.replica_service(service, 0), SimDuration::from_micros(1_000));
+        assert_eq!(r.replica_service(service, 1), SimDuration::from_micros(1_250));
+        assert_eq!(r.replica_service(service, 2), SimDuration::from_micros(1_500));
+        assert_eq!(r.replica_service(service, 3), SimDuration::from_micros(1_750));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_is_rejected() {
+        let _ = StoreReplication::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and the replica count")]
+    fn quorum_beyond_replicas_is_rejected() {
+        let _ = StoreReplication::new(3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and the replica count")]
+    fn zero_quorum_is_rejected() {
+        let _ = StoreReplication::new(3, 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::event::{ControlEvent, ControlSender, DataEvent, Ev, QueueItem};
 use crate::instance::{InstanceRuntime, Work, WorkerStatus};
 use crate::protocol::{MigrationCoordinator, ProtocolConfig, WaveDiscipline, WaveRouting};
 use crate::stats::EngineStats;
-use crate::store::{ShardedStateStore, StateBlob};
+use crate::store::{AdmitOutcome, ShardedStateStore, StateBlob, StoreOpKind};
 use flowmig_cluster::{Assignment, ScalePlan, VmId, VmRole};
 use flowmig_metrics::{ControlKind, MigrationPhase, RootId, TraceEvent, TraceLog};
 use flowmig_sim::{Process, RunOutcome, Scheduler, SimDuration, SimRng, SimTime, Simulation};
@@ -33,9 +33,14 @@ struct SourceState {
     instance: usize,
     interval: SimDuration,
     backlog: VecDeque<(RootId, SimTime)>,
-    /// Failed roots awaiting re-emission; served before the backlog and
-    /// gated by `max.spout.pending`, like Storm's spout retry service.
-    retries: VecDeque<RootId>,
+    /// Failed roots awaiting re-emission (with their original generation
+    /// instants); served before the backlog and gated by
+    /// `max.spout.pending`, like Storm's spout retry service. A root
+    /// queued here is *not* in the replay cache: expiry transfers
+    /// ownership of the pending slot from the cache to this queue, so a
+    /// straggler ack for the expired incarnation can never free the slot
+    /// a second time.
+    retries: VecDeque<(RootId, SimTime)>,
     draining: bool,
 }
 
@@ -421,10 +426,8 @@ impl EngineModel {
         }
         // Retries first (Storm's spout serves its retry service before new
         // tuples), then the paused/throttled backlog.
-        if let Some(root) = self.sources[sidx].retries.pop_front() {
-            if let Some(cached) = self.cache.get(&root).copied() {
-                self.emit_root(cached.source, root, cached.generated_at, true, sched);
-            }
+        if let Some((root, generated_at)) = self.sources[sidx].retries.pop_front() {
+            self.emit_root(sidx, root, generated_at, true, sched);
         } else {
             let (root, gen) = self.sources[sidx].backlog.pop_front().expect("non-empty backlog");
             self.emit_root(sidx, root, gen, false, sched);
@@ -676,13 +679,17 @@ impl EngineModel {
         for root in self.acker.expire(sched.now()) {
             self.stats.roots_failed += 1;
             self.trace.record(TraceEvent::RootFailed { root, at: sched.now() });
-            if let Some(cached) = self.cache.get(&root).copied() {
+            if let Some(cached) = self.cache.remove(&root) {
                 // A failed root frees its pending slot and queues for
                 // re-emission through the spout's gated loop — Storm's
                 // closed-loop flow control, which is what lets DSM's replay
-                // storms eventually damp out.
+                // storms eventually damp out. The cache entry is *removed*,
+                // not peeked: the retry queue now owns the root, so a
+                // straggler ack completing the expired incarnation finds
+                // nothing in the cache and cannot decrement the spout's
+                // `in_flight` ledger a second time.
                 self.in_flight[cached.source] = self.in_flight[cached.source].saturating_sub(1);
-                self.sources[cached.source].retries.push_back(root);
+                self.sources[cached.source].retries.push_back((root, cached.generated_at));
                 self.maybe_schedule_drain(cached.source, sched);
             }
         }
@@ -806,33 +813,57 @@ impl EngineModel {
 
     /// Prices one store round-trip for `instance`: the latency model's
     /// service time for `pending_events`, admitted through the instance's
-    /// shard queue under [`EngineConfig::store_service`]. Under per-shard
-    /// FIFO queueing a saturated shard delays the operation; the wait is
-    /// surfaced in [`EngineStats`] and as a
-    /// [`TraceEvent::StoreQueueWait`] so contention is observable rather
-    /// than silently absorbed.
+    /// shard queue under [`EngineConfig::store_service`] and
+    /// [`EngineConfig::store_replication`]. Under per-shard FIFO queueing a
+    /// saturated shard delays the operation; the wait is surfaced in
+    /// [`EngineStats`] and as a [`TraceEvent::StoreQueueWait`] so
+    /// contention is observable rather than silently absorbed. Replicated
+    /// persists additionally record a [`TraceEvent::QuorumPersist`].
+    ///
+    /// Returns `None` when the operation *fails* — too few live replicas
+    /// on the instance's shard ([`TraceEvent::StoreOpFailed`]). The caller
+    /// simply doesn't schedule a completion: the instance never acks its
+    /// wave, the phase deadline fires, and the coordinator takes the
+    /// existing ROLLBACK path — exactly how a real store outage surfaces.
     fn store_admit(
         &mut self,
         instance: usize,
         pending_events: usize,
+        kind: StoreOpKind,
         sched: &mut Scheduler<'_, Ev>,
-    ) -> SimDuration {
+    ) -> Option<SimDuration> {
         let iid = InstanceId::from_index(instance);
         let service = self.config.store.op_cost(pending_events);
         let now = sched.now();
-        let delay = self.store.admit(iid, now, service, self.config.store_service);
-        let wait = delay - service;
+        let replication = self.config.store_replication;
+        let outcome =
+            self.store.admit_op(iid, now, service, self.config.store_service, replication, kind);
+        let shard = self.store.shard_of(iid);
+        let AdmitOutcome::Served { delay, wait, degraded } = outcome else {
+            self.stats.store_ops_failed += 1;
+            self.trace.record(TraceEvent::StoreOpFailed { instance: iid, shard, at: now });
+            return None;
+        };
         if !wait.is_zero() {
             self.stats.store_ops_queued += 1;
             self.stats.store_wait_us += wait.as_micros();
-            self.trace.record(TraceEvent::StoreQueueWait {
+            self.trace.record(TraceEvent::StoreQueueWait { instance: iid, shard, wait, at: now });
+        }
+        if kind == StoreOpKind::Persist && replication.is_replicated() {
+            self.stats.store_quorum_persists += 1;
+            if degraded {
+                self.stats.store_degraded_persists += 1;
+            }
+            self.trace.record(TraceEvent::QuorumPersist {
                 instance: iid,
-                shard: self.store.shard_of(iid),
-                wait,
+                shard,
+                replicas: replication.replicas as u32,
+                quorum: replication.write_quorum as u32,
+                degraded,
                 at: now,
             });
         }
-        delay
+        Some(delay)
     }
 
     /// After an instance concludes its part in a parallel `kind` wave,
@@ -857,7 +888,16 @@ impl EngineModel {
             None => return,
         };
         // Waves number from 0; `next_wave` already holds the *next* one.
-        let wave = self.next_wave.get(&kind).map_or(0, |w| w.saturating_sub(1));
+        // A windowed wave can only be advancing if `start_wave` ran for
+        // this kind, so the entry must exist and be positive — guessing
+        // wave 0 here would mis-tag resent parallel waves.
+        let wave = match self.next_wave.get(&kind) {
+            Some(&w) if w > 0 => w - 1,
+            _ => {
+                debug_assert!(false, "advancing a {kind:?} wave that never started");
+                return;
+            }
+        };
         let from = ControlSender::CheckpointSource(TaskId::from_index(0));
         self.deliver(QueueItem::Control(ControlEvent { kind, wave, from }), None, next, sched);
     }
@@ -954,7 +994,11 @@ impl EngineModel {
                 } else {
                     0
                 };
-                let cost = self.store_admit(instance, pending_len, sched);
+                let Some(cost) =
+                    self.store_admit(instance, pending_len, StoreOpKind::Persist, sched)
+                else {
+                    return; // shard down: the COMMIT stalls toward rollback
+                };
                 self.runtimes[instance].current = Some(Work::Persist(c));
                 sched.after(cost, Ev::Finish { instance });
             }
@@ -978,7 +1022,10 @@ impl EngineModel {
                 if needs_restore {
                     // Storm's rollback semantics: re-init from the last
                     // committed state.
-                    let cost = self.store_admit(instance, 0, sched);
+                    let Some(cost) = self.store_admit(instance, 0, StoreOpKind::Fetch, sched)
+                    else {
+                        return; // shard down: the resend timer retries later
+                    };
                     self.runtimes[instance].current = Some(Work::Restore(c));
                     sched.after(cost, Ev::Finish { instance });
                     return;
@@ -999,7 +1046,11 @@ impl EngineModel {
                 }
                 let stored_pending =
                     self.store.peek_pending_len(InstanceId::from_index(instance)).unwrap_or(0);
-                let cost = self.store_admit(instance, stored_pending, sched);
+                let Some(cost) =
+                    self.store_admit(instance, stored_pending, StoreOpKind::Fetch, sched)
+                else {
+                    return; // shard down: INIT resends retry after recovery
+                };
                 self.runtimes[instance].current = Some(Work::Restore(c));
                 sched.after(cost, Ev::Finish { instance });
             }
@@ -1180,6 +1231,21 @@ impl EngineModel {
             at: sched.now(),
         });
     }
+
+    fn on_shard_outage_start(&mut self, shard: usize, down: usize, sched: &mut Scheduler<'_, Ev>) {
+        self.store.fail_shard_replicas(shard, down);
+        let replicas = self.config.store_replication.replicas.max(1);
+        self.trace.record(TraceEvent::ShardDown {
+            shard,
+            down_replicas: down.min(replicas) as u32,
+            at: sched.now(),
+        });
+    }
+
+    fn on_shard_outage_end(&mut self, shard: usize, sched: &mut Scheduler<'_, Ev>) {
+        self.store.restore_shard_replicas(shard);
+        self.trace.record(TraceEvent::ShardUp { shard, at: sched.now() });
+    }
 }
 
 impl Process<Ev> for EngineModel {
@@ -1211,6 +1277,8 @@ impl Process<Ev> for EngineModel {
             }
             Ev::OutageStart { instance } => self.on_outage_start(instance, sched),
             Ev::OutageEnd { instance } => self.on_outage_end(instance, sched),
+            Ev::ShardOutageStart { shard, down } => self.on_shard_outage_start(shard, down, sched),
+            Ev::ShardOutageEnd { shard } => self.on_shard_outage_end(shard, sched),
         }
     }
 }
@@ -1313,6 +1381,34 @@ impl Engine {
     pub fn schedule_outage(&mut self, instance: InstanceId, at: SimTime, downtime: SimDuration) {
         self.sim.schedule(at, Ev::OutageStart { instance: instance.index() });
         self.sim.schedule(at + downtime, Ev::OutageEnd { instance: instance.index() });
+    }
+
+    /// Failure injection: every replica of store shard `shard` goes down
+    /// at `at` and comes back `downtime` later. Persists and fetches
+    /// against the shard fail while it is down — a checkpoint wave caught
+    /// mid-flight stalls into its phase deadline and rolls back.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at fire time) if `shard` is out of range for the store.
+    pub fn schedule_shard_outage(&mut self, shard: usize, at: SimTime, downtime: SimDuration) {
+        self.schedule_shard_degradation(shard, usize::MAX, at, downtime);
+    }
+
+    /// Failure injection: `down` replicas of store shard `shard` (the
+    /// fastest first) go down at `at` and come back `downtime` later.
+    /// With [`EngineConfig::store_replication`] configured, a persist
+    /// whose quorum still fits in the surviving replicas completes
+    /// *degraded* instead of failing.
+    pub fn schedule_shard_degradation(
+        &mut self,
+        shard: usize,
+        down: usize,
+        at: SimTime,
+        downtime: SimDuration,
+    ) {
+        self.sim.schedule(at, Ev::ShardOutageStart { shard, down });
+        self.sim.schedule(at + downtime, Ev::ShardOutageEnd { shard });
     }
 
     /// Runs until `horizon` (sources tick forever, so quiescence only
@@ -1482,19 +1578,7 @@ mod tests {
         // gate the fast branch must keep emitting at full rate. (Under the
         // old global-pending gate, the slow branch's 60 in-flight roots
         // starved the fast spout too, collapsing roots_acked to a trickle.)
-        let mut b = flowmig_topology::DataflowBuilder::new("two-branch");
-        let s_fast = b.add(flowmig_topology::TaskSpec::source("s_fast", 8.0));
-        let fast = b.add(flowmig_topology::TaskSpec::operator("fast"));
-        let sink_f = b.add(flowmig_topology::TaskSpec::sink("sink_f"));
-        let s_slow = b.add(flowmig_topology::TaskSpec::source("s_slow", 8.0));
-        let slow = b.add(
-            flowmig_topology::TaskSpec::operator("slow").with_latency(SimDuration::from_secs(5)),
-        );
-        let sink_s = b.add(flowmig_topology::TaskSpec::sink("sink_s"));
-        b.chain(&[s_fast, fast, sink_f]).chain(&[s_slow, slow, sink_s]);
-        let dag = b.finish().unwrap();
-
-        let mut e = engine_for(dag, ProtocolConfig::dsm(), 11);
+        let mut e = engine_for(two_branch_dag(), ProtocolConfig::dsm(), 11);
         e.run_until(SimTime::from_secs(60));
 
         // The fast branch alone contributes ~8 ev/s × 60 s of completed
@@ -1511,6 +1595,115 @@ mod tests {
         let cfg = EngineConfig::default();
         assert!(counts.iter().any(|&c| c >= cfg.max_spout_pending - 5));
         assert!(counts.iter().any(|&c| c < 10));
+    }
+
+    /// Builds the two-branch DAG of `slow_branch_does_not_throttle_sibling_spout`:
+    /// a fast 100 ms branch and a slow 5 s/event branch whose trees time
+    /// out en masse at the acker scans.
+    fn two_branch_dag() -> Dataflow {
+        let mut b = flowmig_topology::DataflowBuilder::new("two-branch");
+        let s_fast = b.add(flowmig_topology::TaskSpec::source("s_fast", 8.0));
+        let fast = b.add(flowmig_topology::TaskSpec::operator("fast"));
+        let sink_f = b.add(flowmig_topology::TaskSpec::sink("sink_f"));
+        let s_slow = b.add(flowmig_topology::TaskSpec::source("s_slow", 8.0));
+        let slow = b.add(
+            flowmig_topology::TaskSpec::operator("slow").with_latency(SimDuration::from_secs(5)),
+        );
+        let sink_s = b.add(flowmig_topology::TaskSpec::sink("sink_s"));
+        b.chain(&[s_fast, fast, sink_f]).chain(&[s_slow, slow, sink_s]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn expired_roots_leave_the_replay_cache_while_queued_for_retry() {
+        // Regression test for the spout in-flight double-decrement: expiry
+        // used to free the pending slot via `cache.get(..)` while *leaving*
+        // the root cached, so the cache claimed a slot the retry queue also
+        // owned — a straggler ack completing the expired incarnation would
+        // decrement the spout ledger a second time. Ownership is now
+        // structural: a root queued for retry has NO cache entry until its
+        // re-emission re-inserts it. Stopping exactly at an acker scan
+        // catches a cohort mid-handoff.
+        let mut e = engine_for(two_branch_dag(), ProtocolConfig::dsm(), 11);
+        e.run_until(SimTime::from_secs(45)); // scan instant: 30 s timeout, 15 s scans
+        let queued: Vec<RootId> =
+            e.model.sources.iter().flat_map(|s| s.retries.iter().map(|&(root, _)| root)).collect();
+        assert!(!queued.is_empty(), "the slow branch must have expired roots awaiting retry");
+        for root in queued {
+            assert!(
+                !e.model.cache.contains_key(&root),
+                "{root} is queued for retry but still cached: the cache and the retry queue \
+                 both own its pending slot"
+            );
+        }
+        // The ledgers stayed consistent through the expiry cohort.
+        let total: usize = e.spout_in_flight().iter().sum();
+        assert_eq!(total, e.model.acker.pending(), "in-flight ledgers track the acker");
+    }
+
+    #[test]
+    fn straggler_acks_after_expiry_cannot_double_free_spout_slots() {
+        // Delayed-ack journey: a 50 s/event operator guarantees every tree
+        // completes *after* its 30 s ack timeout, so acks for expired (and
+        // already re-emitted) incarnations keep arriving all run long. None
+        // of them may free a spout slot: the expired root's cache entry
+        // moved to the retry queue, and the re-registered incarnation is
+        // completed only by its own tree.
+        let mut b = flowmig_topology::DataflowBuilder::new("straggler");
+        let s = b.add(flowmig_topology::TaskSpec::source("s", 8.0));
+        let op = b.add(
+            flowmig_topology::TaskSpec::operator("op").with_latency(SimDuration::from_secs(50)),
+        );
+        let sink = b.add(flowmig_topology::TaskSpec::sink("sink"));
+        b.chain(&[s, op, sink]);
+        let dag = b.finish().unwrap();
+
+        let mut e = engine_for(dag, ProtocolConfig::dsm(), 17);
+        e.run_until(SimTime::from_secs(180));
+        assert!(e.stats().roots_failed > 0, "trees must expire before completing");
+        // Straggler sink arrivals did happen (the 50 s pipeline delivers).
+        assert!(e.stats().sink_arrivals > 0, "the slow pipeline still delivers");
+        // The per-spout ledger equals the acker's pending count: a double
+        // decrement would leave it short, quietly loosening the
+        // max.spout.pending throttle.
+        let total: usize = e.spout_in_flight().iter().sum();
+        assert_eq!(total, e.model.acker.pending(), "straggler acks must not unbalance ledgers");
+        let cfg = EngineConfig::default();
+        for &c in e.spout_in_flight() {
+            assert!(c <= cfg.max_spout_pending, "ledger within the throttle bound: {c}");
+        }
+    }
+
+    #[test]
+    fn shard_outage_records_trace_and_recovers() {
+        // Without a migration no store operation is in flight, so a shard
+        // outage at steady state is pure bookkeeping: the trace records the
+        // down/up pair and the store ends the run fully live.
+        let mut e = engine_for(library::linear(), ProtocolConfig::dcr(), 5);
+        e.schedule_shard_outage(0, SimTime::from_secs(10), SimDuration::from_secs(5));
+        e.run_until(SimTime::from_secs(30));
+        let down = e
+            .trace()
+            .iter()
+            .find_map(|ev| match *ev {
+                TraceEvent::ShardDown { shard, down_replicas, at } => {
+                    Some((shard, down_replicas, at))
+                }
+                _ => None,
+            })
+            .expect("outage start recorded");
+        assert_eq!(down, (0, 1, SimTime::from_secs(10)), "unreplicated store: 1 replica down");
+        let up = e
+            .trace()
+            .iter()
+            .find_map(|ev| match *ev {
+                TraceEvent::ShardUp { shard, at } => Some((shard, at)),
+                _ => None,
+            })
+            .expect("outage end recorded");
+        assert_eq!(up, (0, SimTime::from_secs(15)));
+        assert_eq!(e.store().shard_stats(0).down_replicas, 0, "shard fully restored");
+        assert_eq!(e.stats().store_ops_failed, 0, "no store traffic at steady state");
     }
 
     #[test]

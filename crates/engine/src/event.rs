@@ -84,6 +84,10 @@ pub(crate) enum Ev {
     OutageStart { instance: usize },
     /// Failure injection: instance recovers.
     OutageEnd { instance: usize },
+    /// Failure injection: `down` replicas of a store shard fail.
+    ShardOutageStart { shard: usize, down: usize },
+    /// Failure injection: every replica of a store shard recovers.
+    ShardOutageEnd { shard: usize },
 }
 
 #[cfg(test)]

@@ -21,9 +21,12 @@
 //! * a latency-modelled, sharded **state store** ([`ShardedStateStore`]
 //!   behind the [`StateStore`] facade — the paper's Redis, partitioned for
 //!   per-shard COMMIT-wave accounting), with a pluggable service model
-//!   ([`StoreServiceModel`]): zero-queueing compatibility pricing or
+//!   ([`StoreServiceModel`]): zero-queueing compatibility pricing,
 //!   per-shard FIFO queues under which a saturated shard makes
-//!   concurrent operations wait;
+//!   concurrent operations wait, or M/M/1-style soft degradation —
+//!   plus opt-in per-shard replication ([`StoreReplication`]) with
+//!   quorum-priced persists and shard-failure injection
+//!   ([`Engine::schedule_shard_outage`]);
 //! * **rebalance** (kill + respawn with worker start-up delays) and failure
 //!   injection.
 //!
@@ -46,7 +49,7 @@ mod stats;
 mod store;
 
 pub use acker::{AckOutcome, Acker};
-pub use config::{EngineConfig, StoreLatencyModel, StoreServiceModel};
+pub use config::{EngineConfig, StoreLatencyModel, StoreReplication, StoreServiceModel};
 pub use engine::{Engine, EngineCtl};
 pub use event::{ControlEvent, ControlSender, DataEvent, QueueItem};
 pub use instance::WorkerStatus;
@@ -54,4 +57,4 @@ pub use protocol::{
     resend, MigrationCoordinator, NoopCoordinator, ProtocolConfig, WaveDiscipline, WaveRouting,
 };
 pub use stats::EngineStats;
-pub use store::{ShardStats, ShardedStateStore, StateBlob, StateStore};
+pub use store::{AdmitOutcome, ShardStats, ShardedStateStore, StateBlob, StateStore, StoreOpKind};

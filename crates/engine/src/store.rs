@@ -6,13 +6,29 @@
 //! [`StoreLatencyModel`](crate::StoreLatencyModel); what concurrent load
 //! does to it is decided by the shard queue model: every operation is
 //! admitted through [`ShardedStateStore::admit`], and under
-//! [`StoreServiceModel::FifoPerShard`] each shard is a FIFO single-server
-//! queue with a `busy_until` horizon — an operation admitted against a
-//! busy shard waits for the horizon before its service time starts. The
+//! [`StoreServiceModel::FifoPerShard`] each shard replica is a FIFO
+//! single-server queue with a busy horizon — an operation admitted against
+//! a busy replica waits for the horizon before its service time starts. The
 //! zero-queueing compatibility mode prices every operation independently
-//! (the historical behaviour); both modes record observed concurrency
-//! ([`ShardStats::max_queue_depth`]) and the FIFO mode additionally
-//! accumulates per-shard waiting time ([`ShardStats::queued_wait`]).
+//! (the historical behaviour); [`StoreServiceModel::SoftDegrade`] instead
+//! inflates service time with the shard's instantaneous in-flight load
+//! (M/M/1-style soft degradation). All modes record observed concurrency
+//! ([`ShardStats::max_queue_depth`]) and the queueing modes additionally
+//! accumulate per-shard waiting time ([`ShardStats::queued_wait`]).
+//!
+//! The realism tier generalizes admission to a *replicated* shard
+//! ([`ShardedStateStore::admit_op`]): a persist is a quorum write over
+//! [`StoreReplication::replicas`] per-shard replicas, priced as the k-th
+//! fastest replica completion; a fetch is served by the fastest live
+//! replica. Replicas can be failed mid-run
+//! ([`ShardedStateStore::fail_shard_replicas`]) — operations against a
+//! shard with too few live replicas return [`AdmitOutcome::Failed`], and a
+//! quorum-satisfying subset serves the operation degraded. One deliberate
+//! decision: FIFO busy horizons are **not** reset when a migration wave
+//! aborts. The store already accepted that queued work; a post-rollback
+//! retry wave pays for the dead wave's operations exactly as a real store
+//! would keep serving requests whose clients died (pinned by
+//! `aborted_wave_work_still_occupies_fifo_horizons`).
 //!
 //! The backing implementation is sharded ([`ShardedStateStore`]): instances
 //! hash to shards by index, and every shard keeps its own put/get/byte
@@ -21,7 +37,7 @@
 //! [`StateStore`] remains the single-logical-store facade over one sharded
 //! backend.
 
-use crate::config::StoreServiceModel;
+use crate::config::{StoreReplication, StoreServiceModel};
 use crate::event::DataEvent;
 use flowmig_sim::{SimDuration, SimTime};
 use flowmig_topology::InstanceId;
@@ -58,7 +74,7 @@ impl StateBlob {
 }
 
 /// One shard of the checkpoint store: a key-value map with its own
-/// operation and traffic counters plus the FIFO service-queue state.
+/// operation and traffic counters plus the replicated service-queue state.
 #[derive(Debug, Clone, Default)]
 struct StoreShard {
     blobs: HashMap<InstanceId, StateBlob>,
@@ -67,12 +83,21 @@ struct StoreShard {
     misses: u64,
     bytes_written: u64,
     bytes_read: u64,
-    /// When the shard's single server frees up (FIFO queue model); an
-    /// operation admitted earlier waits until this horizon.
-    busy_until: SimTime,
+    /// Per-replica FIFO busy horizons (FIFO queue model); index 0 is the
+    /// primary (the legacy single `busy_until`). Lazily grown to the
+    /// configured replica count on first replicated admission. Horizons
+    /// deliberately survive aborted migrations: a real store keeps
+    /// serving enqueued work whose clients died, so a post-rollback
+    /// retry wave pays for the dead wave's queued operations (pinned by
+    /// `aborted_wave_work_still_occupies_fifo_horizons`).
+    replica_busy: Vec<SimTime>,
+    /// Replicas currently failed on this shard (replicas `0..down` are
+    /// down, the fastest first — a degraded quorum pays the lag ladder).
+    down_replicas: usize,
     /// Completion instants of operations still in flight at the last
     /// admission — the observed concurrency window (pure accounting; the
-    /// timing authority is `busy_until`).
+    /// timing authority is `replica_busy`), and the instantaneous load
+    /// that inflates `SoftDegrade` service times.
     in_flight: Vec<SimTime>,
     /// Deepest observed in-flight window, including the op being admitted.
     max_queue_depth: usize,
@@ -80,6 +105,12 @@ struct StoreShard {
     queued_ops: u64,
     /// Total time operations spent waiting in this shard's queue.
     queued_wait: SimDuration,
+    /// Operations rejected because too few replicas were up.
+    failed_ops: u64,
+    /// Persists priced as a quorum over a replicated shard.
+    quorum_persists: u64,
+    /// Quorum persists served while at least one replica was down.
+    degraded_persists: u64,
 }
 
 /// Per-shard counter snapshot (see [`ShardedStateStore::shard_stats`]).
@@ -109,8 +140,53 @@ pub struct ShardStats {
     /// always 0 under zero-queueing).
     pub queued_ops: u64,
     /// Total time operations spent waiting in this shard's FIFO queue
-    /// before their service time started (0 under zero-queueing).
+    /// before their service time started (0 under zero-queueing). Under
+    /// [`StoreServiceModel::SoftDegrade`] this accumulates the load
+    /// inflation over the idle service time instead.
     pub queued_wait: SimDuration,
+    /// Operations rejected because too few replicas were up (a persist
+    /// below its write quorum, or a fetch with every replica down).
+    pub failed_ops: u64,
+    /// Persists priced as a quorum over a replicated shard (0 for the
+    /// default unreplicated store).
+    pub quorum_persists: u64,
+    /// Quorum persists that completed while at least one replica of this
+    /// shard was down — the degraded-but-alive mode.
+    pub degraded_persists: u64,
+    /// Replicas of this shard currently failed.
+    pub down_replicas: usize,
+}
+
+/// What a store admission is for — quorum and failure semantics differ:
+/// a persist needs `write_quorum` live replicas, a fetch needs one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOpKind {
+    /// A checkpoint persist (quorum write over the shard's replicas).
+    Persist,
+    /// A state fetch (served by the fastest live replica).
+    Fetch,
+}
+
+/// Result of admitting one operation through
+/// [`ShardedStateStore::admit_op`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// The operation was accepted and completes `delay` after admission.
+    Served {
+        /// Total delay until the operation completes (wait + service).
+        delay: SimDuration,
+        /// The queueing/degradation component of `delay`: how much longer
+        /// the operation took than the deciding replica's idle service
+        /// time (0 under zero-queueing).
+        wait: SimDuration,
+        /// Whether the operation was served while at least one replica of
+        /// the shard was down (quorum still satisfied).
+        degraded: bool,
+    },
+    /// Too few replicas were up: a persist below its write quorum, or a
+    /// fetch against a fully-down shard. The caller sees the operation
+    /// stall (no completion is ever scheduled).
+    Failed,
 }
 
 /// A key-value checkpoint store partitioned over `N` shards by instance
@@ -205,6 +281,10 @@ impl ShardedStateStore {
             max_queue_depth: s.max_queue_depth,
             queued_ops: s.queued_ops,
             queued_wait: s.queued_wait,
+            failed_ops: s.failed_ops,
+            quorum_persists: s.quorum_persists,
+            degraded_persists: s.degraded_persists,
+            down_replicas: s.down_replicas,
         }
     }
 
@@ -234,30 +314,158 @@ impl ShardedStateStore {
         service: SimDuration,
         model: StoreServiceModel,
     ) -> SimDuration {
+        match self.admit_op(
+            instance,
+            now,
+            service,
+            model,
+            StoreReplication::default(),
+            StoreOpKind::Persist,
+        ) {
+            AdmitOutcome::Served { delay, .. } => delay,
+            AdmitOutcome::Failed => {
+                unreachable!("an unreplicated store only fails when its primary is failed; use admit_op for failure-aware admission")
+            }
+        }
+    }
+
+    /// Admits one operation through its shard's replicated service queue.
+    ///
+    /// Generalizes [`Self::admit`] with replication and failure semantics:
+    ///
+    /// * **Replication** — a [`StoreOpKind::Persist`] runs on every live
+    ///   replica and completes when `replication.write_quorum` of them
+    ///   have (the k-th fastest completion); a [`StoreOpKind::Fetch`] is
+    ///   served by the fastest live replica alone. Replica `i` serves
+    ///   `25 % × i` slower than the primary
+    ///   ([`StoreReplication::replica_service`]), so a 2-of-3 quorum is
+    ///   strictly cheaper than waiting on all 3.
+    /// * **Failure** — replicas `0..down` of a shard can be marked down
+    ///   ([`Self::fail_shard_replicas`]). A persist with fewer live
+    ///   replicas than its quorum, or a fetch with none, returns
+    ///   [`AdmitOutcome::Failed`] (the shard counts it in
+    ///   [`ShardStats::failed_ops`]); a quorum-satisfying subset serves
+    ///   the operation *degraded*. The fastest replicas go down first, so
+    ///   degraded quorums pay the lag ladder.
+    /// * **Service models** — zero-queueing prices each replica at its
+    ///   idle service time; FIFO keeps one busy horizon per replica (a
+    ///   persist advances every live replica's horizon, a fetch only the
+    ///   serving one); [`StoreServiceModel::SoftDegrade`] inflates every
+    ///   replica's service by `1 + n` for `n` operations still in flight
+    ///   on the shard.
+    ///
+    /// Under the default replication (1 replica, quorum 1, nothing down)
+    /// every path prices byte-identically to [`Self::admit`]'s historical
+    /// behaviour. FIFO horizons deliberately persist across aborted
+    /// migration waves: the store already accepted that work, so a
+    /// post-rollback retry queues behind it (see the module docs).
+    ///
+    /// Admissions must be made in non-decreasing `now` order with one
+    /// service model per store (the engine's event loop and per-run
+    /// config guarantee both); debug builds panic on a violation rather
+    /// than let the accounting silently skew.
+    pub fn admit_op(
+        &mut self,
+        instance: InstanceId,
+        now: SimTime,
+        service: SimDuration,
+        model: StoreServiceModel,
+        replication: StoreReplication,
+        kind: StoreOpKind,
+    ) -> AdmitOutcome {
         debug_assert!(now >= self.last_admitted_at, "store admissions must be in time order");
         self.last_admitted_at = now;
         let first_model = *self.admitted_model.get_or_insert(model);
         debug_assert!(first_model == model, "one store must be priced under one service model");
         let _ = first_model;
+        let replicas = replication.replicas.max(1);
         let shard = self.shard_of(instance);
         let s = &mut self.shards[shard];
-        s.in_flight.retain(|&done| done > now);
-        let completion = match model {
-            StoreServiceModel::Unqueued => now + service,
-            StoreServiceModel::FifoPerShard => {
-                let start = s.busy_until.max(now);
-                let wait = start - now;
-                if !wait.is_zero() {
-                    s.queued_ops += 1;
-                    s.queued_wait += wait;
-                }
-                s.busy_until = start + service;
-                s.busy_until
-            }
+        let down = s.down_replicas.min(replicas);
+        let live = replicas - down;
+        let needed = match kind {
+            StoreOpKind::Persist => replication.write_quorum.clamp(1, replicas),
+            StoreOpKind::Fetch => 1,
         };
+        if live < needed {
+            s.failed_ops += 1;
+            return AdmitOutcome::Failed;
+        }
+        if s.replica_busy.len() < replicas {
+            s.replica_busy.resize(replicas, SimTime::ZERO);
+        }
+        s.in_flight.retain(|&done| done > now);
+        let load = s.in_flight.len() as u64;
+        // Completion instant of each live replica (indices `down..replicas`;
+        // the fastest replicas fail first, so a degraded shard serves from
+        // further down the lag ladder).
+        let serving: Vec<usize> = match kind {
+            StoreOpKind::Persist => (down..replicas).collect(),
+            StoreOpKind::Fetch => vec![down],
+        };
+        let mut completions: Vec<(SimTime, usize)> = serving
+            .iter()
+            .map(|&r| {
+                let idle = replication.replica_service(service, r);
+                let inflated = match model {
+                    StoreServiceModel::SoftDegrade => {
+                        SimDuration::from_micros(idle.as_micros() * (1 + load))
+                    }
+                    _ => idle,
+                };
+                let start = match model {
+                    StoreServiceModel::FifoPerShard => s.replica_busy[r].max(now),
+                    _ => now,
+                };
+                (start + inflated, r)
+            })
+            .collect();
+        if model == StoreServiceModel::FifoPerShard {
+            // The write lands on every live replica; each horizon advances
+            // even though the client returns at quorum.
+            for &(done, r) in &completions {
+                s.replica_busy[r] = done;
+            }
+        }
+        completions.sort_unstable();
+        let (completion, decider) = completions[needed - 1];
+        let delay = completion - now;
+        let wait = delay - replication.replica_service(service, decider);
+        if !wait.is_zero() {
+            s.queued_ops += 1;
+            s.queued_wait += wait;
+        }
+        let degraded = down > 0;
+        if kind == StoreOpKind::Persist && replication.is_replicated() {
+            s.quorum_persists += 1;
+            if degraded {
+                s.degraded_persists += 1;
+            }
+        }
         s.in_flight.push(completion);
         s.max_queue_depth = s.max_queue_depth.max(s.in_flight.len());
-        completion - now
+        AdmitOutcome::Served { delay, wait, degraded }
+    }
+
+    /// Failure injection: marks `count` replicas of `shard` as down
+    /// (clamped to the configured replica count at admission time; the
+    /// fastest replicas fail first). Use `usize::MAX` for a full shard
+    /// outage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn fail_shard_replicas(&mut self, shard: usize, count: usize) {
+        self.shards[shard].down_replicas = count;
+    }
+
+    /// Failure injection: brings every replica of `shard` back up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn restore_shard_replicas(&mut self, shard: usize) {
+        self.shards[shard].down_replicas = 0;
     }
 
     /// Persists (overwrites) the blob for `instance`.
@@ -348,6 +556,24 @@ impl ShardedStateStore {
     /// Deepest concurrent in-flight window observed on any shard.
     pub fn max_queue_depth(&self) -> usize {
         self.shards.iter().map(|s| s.max_queue_depth).max().unwrap_or(0)
+    }
+
+    /// Total operations rejected for lack of live replicas, across all
+    /// shards.
+    pub fn failed_ops(&self) -> u64 {
+        self.shards.iter().map(|s| s.failed_ops).sum()
+    }
+
+    /// Total quorum-priced persists across all shards (0 for the default
+    /// unreplicated store).
+    pub fn quorum_persists(&self) -> u64 {
+        self.shards.iter().map(|s| s.quorum_persists).sum()
+    }
+
+    /// Total quorum persists served while a replica was down, across all
+    /// shards.
+    pub fn degraded_persists(&self) -> u64 {
+        self.shards.iter().map(|s| s.degraded_persists).sum()
     }
 
     /// Per-shard counter snapshots for every shard, in shard order — the
@@ -694,6 +920,310 @@ mod tests {
             service,
             StoreServiceModel::FifoPerShard,
         );
+    }
+
+    #[test]
+    fn unreplicated_admit_op_matches_the_legacy_admit_byte_for_byte() {
+        // Compatibility pin: under the default replication (1 replica,
+        // quorum 1) both service models must price admit_op exactly as the
+        // legacy admit priced them, including the wait accounting.
+        for model in [StoreServiceModel::Unqueued, StoreServiceModel::FifoPerShard] {
+            let mut legacy = ShardedStateStore::with_shards(2);
+            let mut new = ShardedStateStore::with_shards(2);
+            let service = SimDuration::from_millis(10);
+            for (step, idx) in [0usize, 2, 0, 1].into_iter().enumerate() {
+                let now = SimTime::from_millis(step as u64);
+                let old_delay = legacy.admit(InstanceId::from_index(idx), now, service, model);
+                let outcome = new.admit_op(
+                    InstanceId::from_index(idx),
+                    now,
+                    service,
+                    model,
+                    StoreReplication::default(),
+                    StoreOpKind::Persist,
+                );
+                let AdmitOutcome::Served { delay, wait, degraded } = outcome else {
+                    panic!("an unreplicated healthy store never fails");
+                };
+                assert_eq!(delay, old_delay, "{model:?} step {step}");
+                assert_eq!(wait, delay - service, "{model:?} step {step}");
+                assert!(!degraded);
+            }
+            for shard in 0..2 {
+                assert_eq!(legacy.shard_stats(shard), new.shard_stats(shard), "{model:?}");
+            }
+            assert_eq!(new.quorum_persists(), 0, "default replication never counts quorums");
+        }
+    }
+
+    #[test]
+    fn quorum_persist_completes_at_the_kth_fastest_replica() {
+        // 3 replicas, lag ladder 1.0×/1.25×/1.5×: a 2-of-3 quorum returns
+        // at the second replica (1.25×), strictly cheaper than all-3.
+        let mut store = ShardedStateStore::with_shards(1);
+        let i = InstanceId::from_index(0);
+        let service = SimDuration::from_micros(1000);
+        let AdmitOutcome::Served { delay: q2, .. } = store.admit_op(
+            i,
+            SimTime::from_secs(1),
+            service,
+            StoreServiceModel::Unqueued,
+            StoreReplication::new(3, 2),
+            StoreOpKind::Persist,
+        ) else {
+            panic!("healthy quorum persist must serve");
+        };
+        assert_eq!(q2, SimDuration::from_micros(1250), "2-of-3 waits for replica 1");
+        let AdmitOutcome::Served { delay: q3, .. } = store.admit_op(
+            i,
+            SimTime::from_secs(2),
+            service,
+            StoreServiceModel::Unqueued,
+            StoreReplication::new(3, 3),
+            StoreOpKind::Persist,
+        ) else {
+            panic!("healthy full-replica persist must serve");
+        };
+        assert_eq!(q3, SimDuration::from_micros(1500), "all-3 waits for replica 2");
+        assert!(q2 < q3, "quorum persist must beat the full-replica wait");
+        assert_eq!(store.shard_stats(0).quorum_persists, 2);
+        assert_eq!(store.shard_stats(0).degraded_persists, 0);
+    }
+
+    #[test]
+    fn fetch_is_served_by_the_fastest_live_replica() {
+        let mut store = ShardedStateStore::with_shards(1);
+        let i = InstanceId::from_index(0);
+        let service = SimDuration::from_micros(1000);
+        let rep = StoreReplication::new(3, 2);
+        let AdmitOutcome::Served { delay, degraded, .. } = store.admit_op(
+            i,
+            SimTime::from_secs(1),
+            service,
+            StoreServiceModel::Unqueued,
+            rep,
+            StoreOpKind::Fetch,
+        ) else {
+            panic!("healthy fetch must serve");
+        };
+        assert_eq!(delay, service, "healthy fetch pays the primary's service time");
+        assert!(!degraded);
+        // With the primary down the fetch falls to replica 1 and pays its
+        // lag — degraded but alive.
+        store.fail_shard_replicas(0, 1);
+        let AdmitOutcome::Served { delay, degraded, .. } = store.admit_op(
+            i,
+            SimTime::from_secs(2),
+            service,
+            StoreServiceModel::Unqueued,
+            rep,
+            StoreOpKind::Fetch,
+        ) else {
+            panic!("a 1-down fetch must still serve");
+        };
+        assert_eq!(delay, SimDuration::from_micros(1250), "degraded fetch pays replica 1's lag");
+        assert!(degraded);
+        assert_eq!(store.failed_ops(), 0);
+    }
+
+    #[test]
+    fn persist_below_quorum_fails_and_is_counted() {
+        let mut store = ShardedStateStore::with_shards(1);
+        let i = InstanceId::from_index(0);
+        let service = SimDuration::from_micros(1000);
+        let rep = StoreReplication::new(3, 2);
+        // 2 of 3 down leaves 1 live replica < quorum 2: the persist fails.
+        store.fail_shard_replicas(0, 2);
+        let outcome = store.admit_op(
+            i,
+            SimTime::from_secs(1),
+            service,
+            StoreServiceModel::Unqueued,
+            rep,
+            StoreOpKind::Persist,
+        );
+        assert_eq!(outcome, AdmitOutcome::Failed);
+        // A fetch only needs one live replica, so it still serves.
+        let fetched = store.admit_op(
+            i,
+            SimTime::from_secs(2),
+            service,
+            StoreServiceModel::Unqueued,
+            rep,
+            StoreOpKind::Fetch,
+        );
+        assert!(matches!(fetched, AdmitOutcome::Served { degraded: true, .. }));
+        // A full outage fails fetches too.
+        store.fail_shard_replicas(0, usize::MAX);
+        let outcome = store.admit_op(
+            i,
+            SimTime::from_secs(3),
+            service,
+            StoreServiceModel::Unqueued,
+            rep,
+            StoreOpKind::Fetch,
+        );
+        assert_eq!(outcome, AdmitOutcome::Failed);
+        assert_eq!(store.failed_ops(), 2);
+        assert_eq!(store.shard_stats(0).failed_ops, 2);
+        // Restoring the shard brings the persist path back.
+        store.restore_shard_replicas(0);
+        let outcome = store.admit_op(
+            i,
+            SimTime::from_secs(4),
+            service,
+            StoreServiceModel::Unqueued,
+            rep,
+            StoreOpKind::Persist,
+        );
+        assert!(matches!(outcome, AdmitOutcome::Served { degraded: false, .. }));
+    }
+
+    #[test]
+    fn degraded_quorum_pays_the_lag_ladder_and_is_counted() {
+        // With the fastest replica down, a 2-of-3 persist is served by
+        // replicas 1 and 2 and returns at replica 2 (1.5×): degraded
+        // quorums cost more than healthy ones.
+        let mut store = ShardedStateStore::with_shards(1);
+        store.fail_shard_replicas(0, 1);
+        let AdmitOutcome::Served { delay, degraded, .. } = store.admit_op(
+            InstanceId::from_index(0),
+            SimTime::from_secs(1),
+            SimDuration::from_micros(1000),
+            StoreServiceModel::Unqueued,
+            StoreReplication::new(3, 2),
+            StoreOpKind::Persist,
+        ) else {
+            panic!("a 1-down quorum persist must serve");
+        };
+        assert_eq!(delay, SimDuration::from_micros(1500), "quorum over replicas 1 and 2");
+        assert!(degraded);
+        let stats = store.shard_stats(0);
+        assert_eq!(stats.quorum_persists, 1);
+        assert_eq!(stats.degraded_persists, 1);
+        assert_eq!(stats.down_replicas, 1);
+    }
+
+    #[test]
+    fn soft_degrade_inflates_service_with_instantaneous_load() {
+        // M/M/1-style: the n-th same-instant op on a shard is served in
+        // (1 + n) × service, and the inflation is surfaced as wait.
+        let mut store = ShardedStateStore::with_shards(1);
+        let now = SimTime::from_secs(1);
+        let service = SimDuration::from_millis(10);
+        let i = InstanceId::from_index(0);
+        for n in 0..3u64 {
+            let AdmitOutcome::Served { delay, wait, .. } = store.admit_op(
+                i,
+                now,
+                service,
+                StoreServiceModel::SoftDegrade,
+                StoreReplication::default(),
+                StoreOpKind::Persist,
+            ) else {
+                panic!("healthy soft-degrade persist must serve");
+            };
+            assert_eq!(delay, service.mul(1 + n), "op {n} sees load {n}");
+            assert_eq!(wait, service.mul(n), "inflation over idle service is surfaced");
+        }
+        let stats = store.shard_stats(0);
+        assert_eq!(stats.queued_ops, 2, "the unloaded first op pays no inflation");
+        assert_eq!(stats.queued_wait, SimDuration::from_millis(30));
+        // Once the window drains, service returns to the idle price.
+        let later = now + SimDuration::from_secs(1);
+        let AdmitOutcome::Served { delay, .. } = store.admit_op(
+            i,
+            later,
+            service,
+            StoreServiceModel::SoftDegrade,
+            StoreReplication::default(),
+            StoreOpKind::Persist,
+        ) else {
+            panic!("healthy soft-degrade persist must serve");
+        };
+        assert_eq!(delay, service, "an idle shard is back to flat pricing");
+    }
+
+    #[test]
+    fn fifo_replicated_persist_advances_every_live_horizon() {
+        // The write lands on all live replicas even though the client
+        // returns at quorum: a back-to-back persist queues on every
+        // replica, while a fetch occupies only its serving replica.
+        let mut store = ShardedStateStore::with_shards(1);
+        let i = InstanceId::from_index(0);
+        let now = SimTime::from_secs(1);
+        let service = SimDuration::from_micros(1000);
+        let rep = StoreReplication::new(2, 2);
+        let AdmitOutcome::Served { delay: first, .. } = store.admit_op(
+            i,
+            now,
+            service,
+            StoreServiceModel::FifoPerShard,
+            rep,
+            StoreOpKind::Persist,
+        ) else {
+            panic!("persist must serve");
+        };
+        assert_eq!(first, SimDuration::from_micros(1250), "idle 2-of-2 waits for replica 1");
+        let AdmitOutcome::Served { delay: second, wait, .. } = store.admit_op(
+            i,
+            now,
+            service,
+            StoreServiceModel::FifoPerShard,
+            rep,
+            StoreOpKind::Persist,
+        ) else {
+            panic!("persist must serve");
+        };
+        // Replica 0 free at 1000, replica 1 at 1250; the second persist
+        // completes on replica 1 at 1250 + 1250 = 2500 after `now`.
+        assert_eq!(second, SimDuration::from_micros(2500), "queues behind both horizons");
+        assert_eq!(wait, SimDuration::from_micros(1250), "the horizon wait is accounted");
+        // A fetch now runs on replica 0 (free at 1000), not replica 1
+        // (busy until 2500): fetches only pay the fastest live horizon.
+        let AdmitOutcome::Served { delay: fetch, .. } = store.admit_op(
+            i,
+            now,
+            service,
+            StoreServiceModel::FifoPerShard,
+            rep,
+            StoreOpKind::Fetch,
+        ) else {
+            panic!("fetch must serve");
+        };
+        assert_eq!(fetch, SimDuration::from_micros(3000), "fetch queues on replica 0 only");
+    }
+
+    #[test]
+    fn aborted_wave_work_still_occupies_fifo_horizons() {
+        // The satellite-3 decision, pinned: horizons survive an aborted
+        // migration. A wave queues 3 ops on one shard, the wave dies (the
+        // engine simply stops scheduling their completions), and a
+        // post-rollback retry admitted before the horizon clears still
+        // waits behind the dead wave's queued work — the store accepted
+        // that work and a real one would keep serving it.
+        let mut store = ShardedStateStore::with_shards(1);
+        let i = InstanceId::from_index(0);
+        let t0 = SimTime::from_secs(1);
+        let service = SimDuration::from_millis(10);
+        for _ in 0..3 {
+            store.admit(i, t0, service, StoreServiceModel::FifoPerShard);
+        }
+        // The migration aborts here; nothing resets the store. A retry
+        // 5 ms later still queues behind the dead wave's 30 ms horizon.
+        let retry_at = t0 + SimDuration::from_millis(5);
+        let delay = store.admit(i, retry_at, service, StoreServiceModel::FifoPerShard);
+        assert_eq!(
+            delay,
+            SimDuration::from_millis(35),
+            "25 ms behind the dead wave's horizon + 10 ms service"
+        );
+        assert_eq!(store.shard_stats(0).queued_ops, 3);
+        // Once the horizon drains, pricing is back to idle — the penalty
+        // is bounded by the aborted wave's accepted work, not permanent.
+        let much_later = t0 + SimDuration::from_secs(1);
+        let delay = store.admit(i, much_later, service, StoreServiceModel::FifoPerShard);
+        assert_eq!(delay, service, "the dead wave's horizon drains out");
     }
 
     #[test]

@@ -47,6 +47,17 @@ pub struct MigrationMetrics {
     /// windows are fighting. `None` when nothing queued (always the case
     /// under the zero-queueing store model).
     pub store_wait: Option<SimDuration>,
+    /// Persists priced as a quorum over a replicated store (0 for
+    /// unreplicated runs).
+    pub quorum_persists: u64,
+    /// Quorum persists that completed while a shard replica was down.
+    pub degraded_persists: u64,
+    /// Store operations rejected for lack of live replicas (0 without a
+    /// shard outage).
+    pub store_failures: u64,
+    /// Total time store shards spent with replicas down. `None` when no
+    /// shard outage was injected.
+    pub shard_downtime: Option<SimDuration>,
 }
 
 impl MigrationMetrics {
@@ -87,6 +98,7 @@ impl MigrationMetrics {
         let commit_wave = log.phase_span(MigrationPhase::Commit).map(|(s, e)| e - s);
         let restore_wave = log.phase_span(MigrationPhase::Restore).map(|(s, e)| e - s);
         let store_wait = Some(log.store_queue_wait()).filter(|w| !w.is_zero());
+        let shard_downtime = Some(log.shard_downtime()).filter(|d| !d.is_zero());
 
         MigrationMetrics {
             restore,
@@ -100,6 +112,10 @@ impl MigrationMetrics {
             commit_wave,
             restore_wave,
             store_wait,
+            quorum_persists: log.quorum_persists(),
+            degraded_persists: log.degraded_persists(),
+            store_failures: log.store_failed_ops(),
+            shard_downtime,
         }
     }
 
@@ -134,7 +150,25 @@ impl fmt::Display for MigrationMetrics {
             fmt_opt(self.store_wait),
             self.replayed_messages,
             self.dropped_messages,
-        )
+        )?;
+        // The realism-tier counters only print when the run exercised them,
+        // so unreplicated outage-free summaries stay byte-identical.
+        if self.quorum_persists > 0 {
+            write!(
+                f,
+                " quorum_persists={} degraded={}",
+                self.quorum_persists, self.degraded_persists
+            )?;
+        }
+        if self.store_failures > 0 || self.shard_downtime.is_some() {
+            write!(
+                f,
+                " store_failures={} shard_downtime={}",
+                self.store_failures,
+                fmt_opt(self.shard_downtime),
+            )?;
+        }
+        Ok(())
     }
 }
 

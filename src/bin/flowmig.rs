@@ -5,7 +5,8 @@
 //!   flowmig [--dag NAME] [--strategy dsm|dcr|dcr-parallel-init|ccr|ccr-pipelined]
 //!           [--direction in|out] [--seed N] [--request-secs N]
 //!           [--horizon-secs N] [--shards N] [--parallel-waves FANOUT]
-//!           [--store-queueing] [--csv throughput|latency]
+//!           [--store-queueing] [--store-replicas N] [--store-quorum K]
+//!           [--shard-outage SHARD:AT_SECS:DOWN_SECS] [--csv throughput|latency]
 //! ```
 //!
 //! Prints the §4 metrics for one run of the paper's protocol, or a CSV
@@ -28,6 +29,9 @@ struct Args {
     shards: Option<usize>,
     parallel_waves: Option<usize>,
     store_queueing: bool,
+    store_replicas: Option<usize>,
+    store_quorum: Option<usize>,
+    shard_outages: Vec<(usize, u64, u64)>,
     csv: Option<String>,
 }
 
@@ -39,6 +43,9 @@ fn usage() -> ExitCode {
          [--request-secs N] [--horizon-secs N] [--shards N] \
          [--parallel-waves FANOUT (0 = derived from store shards)] \
          [--store-queueing (per-shard FIFO store contention)] \
+         [--store-replicas N (replicate each shard N ways)] \
+         [--store-quorum K (persists complete at the K-th fastest replica)] \
+         [--shard-outage SHARD:AT_SECS:DOWN_SECS (repeatable; kill a shard mid-run)] \
          [--csv throughput|latency]\n\nstrategies:",
         names.join("|")
     );
@@ -59,6 +66,9 @@ fn parse_args() -> Result<Args, String> {
         shards: None,
         parallel_waves: None,
         store_queueing: false,
+        store_replicas: None,
+        store_quorum: None,
+        shard_outages: Vec::new(),
         csv: None,
     };
     let mut it = std::env::args().skip(1);
@@ -93,6 +103,32 @@ fn parse_args() -> Result<Args, String> {
                     Some(value()?.parse().map_err(|e| format!("bad fan-out: {e}"))?)
             }
             "--store-queueing" => args.store_queueing = true,
+            "--store-replicas" => {
+                let n: usize = value()?.parse().map_err(|e| format!("bad replica count: {e}"))?;
+                if n == 0 {
+                    return Err("a replicated store needs at least one replica".to_owned());
+                }
+                args.store_replicas = Some(n);
+            }
+            "--store-quorum" => {
+                let k: usize = value()?.parse().map_err(|e| format!("bad quorum: {e}"))?;
+                if k == 0 {
+                    return Err("a write quorum needs at least one replica".to_owned());
+                }
+                args.store_quorum = Some(k);
+            }
+            "--shard-outage" => {
+                let spec = value()?;
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [shard, at, down] = parts[..] else {
+                    return Err(format!("bad outage `{spec}`: want SHARD:AT_SECS:DOWN_SECS"));
+                };
+                args.shard_outages.push((
+                    shard.parse().map_err(|e| format!("bad outage shard: {e}"))?,
+                    at.parse().map_err(|e| format!("bad outage start: {e}"))?,
+                    down.parse().map_err(|e| format!("bad outage duration: {e}"))?,
+                ));
+            }
             "--csv" => args.csv = Some(value()?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -147,6 +183,26 @@ fn main() -> ExitCode {
     }
     if args.store_queueing {
         controller = controller.with_store_service(StoreServiceModel::FifoPerShard);
+    }
+    if args.store_quorum.is_some() && args.store_replicas.is_none() {
+        eprintln!("error: --store-quorum needs --store-replicas");
+        return usage();
+    }
+    if let Some(replicas) = args.store_replicas {
+        // Unspecified quorum defaults to a majority of the replica set.
+        let quorum = args.store_quorum.unwrap_or(replicas / 2 + 1);
+        if quorum > replicas {
+            eprintln!("error: --store-quorum {quorum} exceeds --store-replicas {replicas}");
+            return usage();
+        }
+        controller = controller.with_store_replication(replicas, quorum);
+    }
+    for &(shard, at, down) in &args.shard_outages {
+        controller = controller.with_shard_outage(
+            shard,
+            SimTime::from_secs(at),
+            SimDuration::from_secs(down),
+        );
     }
     // One registry lookup covers parsing, listing and construction: any
     // plan registered in flowmig-core is runnable here by its cli name.
@@ -203,6 +259,14 @@ fn main() -> ExitCode {
             outcome.stats.store_ops_queued,
             outcome.stats.store_wait_us as f64 / 1e3,
             max_depth,
+        );
+    }
+    if args.store_replicas.is_some() || !args.shard_outages.is_empty() {
+        println!(
+            "  store realism: {} quorum persists ({} degraded), {} ops failed",
+            outcome.stats.store_quorum_persists,
+            outcome.stats.store_degraded_persists,
+            outcome.stats.store_ops_failed,
         );
     }
     ExitCode::SUCCESS

@@ -65,7 +65,8 @@ pub mod prelude {
         Ccr, Dcr, Dsm, MigrationController, MigrationOutcome, MigrationStrategy, StrategyKind,
     };
     pub use flowmig_engine::{
-        Engine, EngineConfig, EngineStats, ProtocolConfig, StoreServiceModel, WorkerStatus,
+        Engine, EngineConfig, EngineStats, ProtocolConfig, StoreReplication, StoreServiceModel,
+        WorkerStatus,
     };
     pub use flowmig_metrics::{
         find_stabilization, latency_samples_ms, percentile, LatencyTimeline, MigrationMetrics,

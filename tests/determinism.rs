@@ -9,6 +9,13 @@
 //! PR 3 coordinator baselines are additionally pinned as FNV-1a hashes
 //! (`plan_driven_strategies_reproduce_the_hardcoded_coordinator_traces`),
 //! so the plan IR cannot silently reshape a default timeline.
+//!
+//! The store realism models (FIFO queueing, `SoftDegrade`, replication,
+//! shard outages) stay **opt-in** until calibrated against measured Redis
+//! behavior: every default-config pin in this file must hold byte for byte
+//! no matter how those models evolve, and the realism tiers get their own
+//! pinned matrices below (`quorum_replicated_ccr_pipelined_matrix_is_pinned`,
+//! `shard_outage_abort_timeline_is_pinned`).
 
 use flowmig::core::{CcrPipelined, DcrParallelInit};
 use flowmig::prelude::*;
@@ -248,6 +255,79 @@ fn dcr_parallel_init_matrix_is_pinned_and_deterministic() {
         "DCR-PI timelines drifted; actual hashes:\n{}",
         mismatches.join(",\n")
     );
+}
+
+/// The replication tier, pinned: CCR-P with a 2-of-3 quorum store across
+/// all five paper DAGs. Every persist is repriced to the 2nd-fastest
+/// replica, so these hashes intentionally differ from the unreplicated
+/// CCR-P matrix — but they must not drift once pinned. Run-twice equality
+/// guards nondeterminism in the replica lag ladder; mismatches are
+/// collected and reported together so one run shows the whole matrix.
+#[test]
+fn quorum_replicated_ccr_pipelined_matrix_is_pinned() {
+    const PINNED: [(&str, u64); 5] = [
+        ("linear", 0x29ffae4684b08d53),
+        ("diamond", 0x0c892b8e5288958d),
+        ("star", 0x9c66236835a2f723),
+        ("grid", 0x9feb048729a9eb61),
+        ("traffic", 0xca9a47769c646c17),
+    ];
+    let run = |dag: &Dataflow| {
+        controller(7)
+            .with_store_replication(3, 2)
+            .run(dag, &CcrPipelined::new(), ScaleDirection::In)
+            .expect("paper scenario placeable")
+    };
+    let mut mismatches = Vec::new();
+    for dag in dags() {
+        let first = run(&dag);
+        let second = run(&dag);
+        assert_eq!(first.stats, second.stats, "stats diverged: quorum CCR-P on {}", dag.name());
+        assert_eq!(first.trace, second.trace, "trace diverged: quorum CCR-P on {}", dag.name());
+        assert!(first.completed, "quorum CCR-P completes on {}", dag.name());
+        assert!(
+            first.stats.store_quorum_persists > 0,
+            "the quorum path actually ran on {}",
+            dag.name()
+        );
+        assert_eq!(first.stats.events_dropped, 0, "quorum CCR-P loses nothing on {}", dag.name());
+        let pinned = PINNED
+            .iter()
+            .find(|(d, _)| *d == dag.name())
+            .unwrap_or_else(|| panic!("no pin for {}", dag.name()));
+        let hash = trace_hash(&first.trace);
+        if hash != pinned.1 {
+            mismatches.push(format!("(\"{}\", {hash:#018x})", dag.name()));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "quorum CCR-P timelines drifted; actual hashes:\n{}",
+        mismatches.join(",\n")
+    );
+}
+
+/// The failure tier, pinned: a full shard-0 outage spanning DCR's COMMIT
+/// window on the grid dataflow. The stalled wave must time out into
+/// ROLLBACK deterministically — the abort timeline (outage events, failed
+/// persists, rollback wave, resumed flow) is as pinnable as a success.
+#[test]
+fn shard_outage_abort_timeline_is_pinned() {
+    const PINNED: u64 = 0xfcf107c2a155002c;
+    let run = || {
+        controller(7)
+            .with_shard_outage(0, SimTime::from_secs(50), SimDuration::from_secs(200))
+            .run(&library::grid(), &Dcr::new(), ScaleDirection::In)
+            .expect("paper scenario placeable")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.stats, second.stats, "stats diverged: shard-outage DCR");
+    assert_eq!(first.trace, second.trace, "trace diverged: shard-outage DCR");
+    assert!(!first.completed, "the dead shard must abort the migration");
+    assert!(first.stats.store_ops_failed > 0, "persists against shard 0 failed");
+    let hash = trace_hash(&first.trace);
+    assert_eq!(hash, PINNED, "shard-outage abort timeline drifted; actual {hash:#018x}");
 }
 
 #[test]

@@ -1,14 +1,57 @@
 //! Failure injection: checkpoint waves that cannot complete must roll the
 //! dataflow back (the three-phase-commit semantics of §2) and leave it
 //! processing, not wedged.
+//!
+//! Every crash scenario runs under both store service models — the
+//! zero-queueing compatibility default and per-shard FIFO contention —
+//! because a victim dying mid-wave exercises the queue accounting on the
+//! abort path, where a bug would silently corrupt the §4 store metrics.
+//! The `check_queue_accounting` helper pins the invariants either model
+//! must uphold. On top of the executor crashes, two scenarios kill store
+//! *shards* mid-wave: a full outage must abort the wave down the same
+//! ROLLBACK path, while a quorum-satisfying replica subset must let the
+//! migration complete degraded.
 
 use flowmig::prelude::*;
+
+fn config_with(service: StoreServiceModel) -> EngineConfig {
+    EngineConfig { store_service: service, ..EngineConfig::default() }
+}
+
+/// The queue accounting every service model must keep consistent, even
+/// when waves abort with operations still queued behind dead horizons.
+fn check_queue_accounting(engine: &Engine, service: StoreServiceModel) {
+    let store = engine.store();
+    let (mut ops, mut wait) = (0u64, 0u64);
+    for shard in 0..store.shard_count() {
+        let s = store.shard_stats(shard);
+        assert_eq!(
+            s.queued_ops == 0,
+            s.queued_wait.is_zero(),
+            "shard {shard}: queued_ops={} but queued_wait={:?}",
+            s.queued_ops,
+            s.queued_wait
+        );
+        if s.queued_ops > 0 {
+            assert!(
+                s.max_queue_depth >= 2,
+                "shard {shard}: an op waited, so at least two must have overlapped"
+            );
+        }
+        ops += s.queued_ops;
+        wait += s.queued_wait.as_micros();
+    }
+    assert_eq!(engine.stats().store_ops_queued, ops, "engine counter mirrors shard sums");
+    assert_eq!(engine.stats().store_wait_us, wait, "engine wait mirrors shard sums");
+    if service == StoreServiceModel::Unqueued {
+        assert_eq!(ops, 0, "the zero-queueing model never makes an op wait");
+    }
+}
 
 /// An instance crashes right as DCR's PREPARE wave sweeps: the wave cannot
 /// align, the coordinator times out and broadcasts ROLLBACK, the sources
 /// resume, and the dataflow keeps producing on the *old* deployment.
-#[test]
-fn dcr_prepare_timeout_rolls_back_and_resumes() {
+fn dcr_prepare_timeout_rolls_back_and_resumes(service: StoreServiceModel) {
     let dag = library::linear();
     let instances = InstanceSet::plan(&dag);
     let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In)
@@ -20,7 +63,7 @@ fn dcr_prepare_timeout_rolls_back_and_resumes() {
         dag.clone(),
         instances.clone(),
         &plan,
-        EngineConfig::default(),
+        config_with(service),
         strategy.protocol(),
         strategy.coordinator(),
         5,
@@ -60,14 +103,24 @@ fn dcr_prepare_timeout_rolls_back_and_resumes() {
         last_arrival > SimTime::from_secs(280),
         "dataflow still produces after the aborted migration (last arrival {last_arrival})"
     );
+    check_queue_accounting(&engine, service);
+}
+
+#[test]
+fn dcr_prepare_timeout_rolls_back_and_resumes_unqueued() {
+    dcr_prepare_timeout_rolls_back_and_resumes(StoreServiceModel::Unqueued);
+}
+
+#[test]
+fn dcr_prepare_timeout_rolls_back_and_resumes_fifo() {
+    dcr_prepare_timeout_rolls_back_and_resumes(StoreServiceModel::FifoPerShard);
 }
 
 /// A crash just before the migration leaves an uninitialized executor:
 /// CCR's PREPARE cannot complete, so the built-in 30 s wave timeout rolls
 /// the migration back — and the ROLLBACK itself re-initializes the victim
 /// from the last committed state, leaving the dataflow healthy.
-#[test]
-fn ccr_default_timeout_rolls_back_when_an_executor_cannot_prepare() {
+fn ccr_default_timeout_rolls_back_when_an_executor_cannot_prepare(service: StoreServiceModel) {
     let dag = library::linear();
     let instances = InstanceSet::plan(&dag);
     let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In)
@@ -79,7 +132,7 @@ fn ccr_default_timeout_rolls_back_when_an_executor_cannot_prepare() {
         dag.clone(),
         instances.clone(),
         &plan,
-        EngineConfig::default(),
+        config_with(service),
         strategy.protocol(),
         strategy.coordinator(),
         6,
@@ -108,12 +161,22 @@ fn ccr_default_timeout_rolls_back_when_an_executor_cannot_prepare() {
         })
         .expect("arrivals");
     assert!(last > SimTime::from_secs(400), "dataflow produces after the abort, last={last}");
+    check_queue_accounting(&engine, service);
+}
+
+#[test]
+fn ccr_default_timeout_rolls_back_when_an_executor_cannot_prepare_unqueued() {
+    ccr_default_timeout_rolls_back_when_an_executor_cannot_prepare(StoreServiceModel::Unqueued);
+}
+
+#[test]
+fn ccr_default_timeout_rolls_back_when_an_executor_cannot_prepare_fifo() {
+    ccr_default_timeout_rolls_back_when_an_executor_cannot_prepare(StoreServiceModel::FifoPerShard);
 }
 
 /// A crash outside any migration: the outage drops events (no acking for
 /// DCR protocol) but the engine keeps running and the instance recovers.
-#[test]
-fn steady_state_crash_recovers_without_migration() {
+fn steady_state_crash_recovers_without_migration(service: StoreServiceModel) {
     let dag = library::diamond();
     let instances = InstanceSet::plan(&dag);
     let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In)
@@ -124,7 +187,7 @@ fn steady_state_crash_recovers_without_migration() {
         dag.clone(),
         instances.clone(),
         &plan,
-        EngineConfig::default(),
+        config_with(service),
         ProtocolConfig::dsm(),
         Dsm::new().coordinator(),
         7,
@@ -147,4 +210,80 @@ fn steady_state_crash_recovers_without_migration() {
         })
         .expect("arrivals");
     assert!(last > SimTime::from_secs(175));
+    check_queue_accounting(&engine, service);
+}
+
+#[test]
+fn steady_state_crash_recovers_without_migration_unqueued() {
+    steady_state_crash_recovers_without_migration(StoreServiceModel::Unqueued);
+}
+
+#[test]
+fn steady_state_crash_recovers_without_migration_fifo() {
+    steady_state_crash_recovers_without_migration(StoreServiceModel::FifoPerShard);
+}
+
+/// A store shard dies across CCR's COMMIT window with no replication to
+/// fall back on: persists against the dead shard fail, the wave times out,
+/// and the migration takes the same ROLLBACK path as an executor crash.
+fn shard_outage_mid_commit_rolls_back(service: StoreServiceModel) {
+    let outcome = MigrationController::new()
+        .with_request_at(SimTime::from_secs(60))
+        .with_horizon(SimTime::from_secs(400))
+        .with_store_service(service)
+        .with_shard_outage(0, SimTime::from_secs(50), SimDuration::from_secs(300))
+        .run(&library::grid(), &Ccr::new(), ScaleDirection::In)
+        .expect("scenario placeable");
+
+    assert!(!outcome.completed, "a dead shard must abort the migration");
+    assert!(outcome.stats.store_ops_failed > 0, "the COMMIT persists against shard 0 failed");
+    assert_eq!(outcome.metrics.store_failures, outcome.stats.store_ops_failed);
+    let rollbacks = outcome
+        .trace
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::ControlWave { kind: flowmig::metrics::ControlKind::Rollback, .. }
+            )
+        })
+        .count();
+    assert!(rollbacks >= 1, "the stalled wave timed out into ROLLBACK");
+    assert!(outcome.metrics.shard_downtime.is_some(), "downtime surfaced in §4 metrics");
+    // The abort path kept the dataflow lossless on the old deployment.
+    assert_eq!(outcome.stats.events_dropped, 0);
+}
+
+#[test]
+fn shard_outage_mid_commit_rolls_back_unqueued() {
+    shard_outage_mid_commit_rolls_back(StoreServiceModel::Unqueued);
+}
+
+#[test]
+fn shard_outage_mid_commit_rolls_back_fifo() {
+    shard_outage_mid_commit_rolls_back(StoreServiceModel::FifoPerShard);
+}
+
+/// The same mid-wave shard failure with a 2-of-3 quorum: losing one
+/// replica degrades the persists (they pay the slower replica ladder) but
+/// the wave still reaches quorum and the migration completes.
+#[test]
+fn quorum_replication_rides_out_a_mid_wave_replica_loss() {
+    let outcome = MigrationController::new()
+        .with_request_at(SimTime::from_secs(60))
+        .with_horizon(SimTime::from_secs(400))
+        .with_store_replication(3, 2)
+        .with_shard_degradation(0, 1, SimTime::from_secs(50), SimDuration::from_secs(300))
+        .run(&library::grid(), &Ccr::new(), ScaleDirection::In)
+        .expect("scenario placeable");
+
+    assert!(outcome.completed, "2 live replicas still satisfy the 2-of-3 quorum");
+    assert_eq!(outcome.stats.store_ops_failed, 0, "nothing fell below quorum");
+    assert!(outcome.stats.store_degraded_persists > 0, "shard 0's persists ran degraded");
+    assert!(
+        outcome.stats.store_quorum_persists >= outcome.stats.store_degraded_persists,
+        "degraded persists are a subset of quorum persists"
+    );
+    assert_eq!(outcome.stats.events_dropped, 0);
+    assert_eq!(outcome.stats.replayed_roots, 0);
 }
