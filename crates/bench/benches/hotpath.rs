@@ -181,6 +181,7 @@ fn bench_sharded_store(c: &mut Criterion) {
                 replayed: false,
             })
             .collect(),
+        key_counts: Vec::new(),
     };
     for shards in [1usize, 8] {
         group.bench_function(&format!("commit_wave_64_instances_{shards}_shards"), |b| {

@@ -73,6 +73,7 @@ fn bench_state_store(c: &mut Criterion) {
                     replayed: false,
                 })
                 .collect(),
+            key_counts: Vec::new(),
         };
         b.iter_batched(
             StateStore::new,

@@ -102,6 +102,7 @@ fn main() {
                 replayed: false,
             })
             .collect(),
+        key_counts: Vec::new(),
     };
     store.put(instance, blob.clone());
     let restored = store.get(instance).expect("blob present");

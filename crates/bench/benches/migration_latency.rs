@@ -44,11 +44,25 @@
 //! cheaper than waiting on all 3 replicas (the whole point of a quorum),
 //! and a 1-shard outage spanning the COMMIT window must abort the
 //! migration down the ROLLBACK path rather than complete or wedge.
+//!
+//! The skew rows re-run the 96-instance point on a Zipf-keyed grid
+//! (`grid_zipf(6, 8, 2)`: 8 key partitions per operator task, exponent 2,
+//! so partition 0 carries ~65% of the weight) under a small 2-shard FIFO
+//! store. `CCR-KR` scopes its waves to the hot key ranges — only the ~15
+//! hot-range owners persist/fetch, versus every one of the 96 participants
+//! for `CCR-P` — and the skew tripwire requires the scoped commit+restore
+//! path to be >= 2x faster while moving < 25% of the durable state bytes.
+//! Both strategies run `without_wave_timeout()`: keyed routing saturates
+//! the hot owner, whose request-time backlog delays PREPARE past the
+//! default 30 s wave timeout (an honest model outcome — skewed scenarios
+//! must extend it).
 
 use flowmig_bench::{banner, BENCH_SEEDS};
 use flowmig_cluster::ScaleDirection;
-use flowmig_core::{strategies, Ccr, CcrPipelined, Dcr, MigrationController, MigrationStrategy};
-use flowmig_engine::{EngineConfig, StoreServiceModel};
+use flowmig_core::{
+    strategies, Ccr, CcrKeyRange, CcrPipelined, Dcr, MigrationController, MigrationStrategy,
+};
+use flowmig_engine::{EngineConfig, StoreLatencyModel, StoreServiceModel};
 use flowmig_metrics::{ControlKind, TraceEvent};
 use flowmig_sim::{SimDuration, SimTime};
 use flowmig_topology::library;
@@ -75,6 +89,13 @@ struct Cell {
     /// Replication label: `-` for the unreplicated rows, else `KofN`
     /// (write quorum K over N replicas per shard).
     replication: String,
+    /// Wave-scope label: `-` for whole-instance rows, else the hot-weight
+    /// target of the key-range scope (e.g. `hot:600`).
+    scope: String,
+    /// Mean durable state bytes persisted to the store (processed counter
+    /// plus per-key-partition counters; captured pending events are replay
+    /// traffic, not state, and are excluded).
+    moved_bytes: f64,
     commit_ms: f64,
     restore_ms: f64,
     wall_ms: f64,
@@ -138,6 +159,7 @@ fn measure_replicated(
     let dag = library::grid_scaled(width);
     let (mut commit, mut restore, mut wall) = (0.0, 0.0, 0.0);
     let (mut queued_wait, mut queued_ops, mut max_depth) = (0.0, 0.0, 0.0);
+    let mut moved_bytes = 0.0;
     for &seed in &BENCH_SEEDS {
         let started = Instant::now();
         let mut c = controller(shards, seed, service);
@@ -153,6 +175,7 @@ fn measure_replicated(
         queued_wait += out.stats.store_wait_us as f64 / 1e3;
         queued_ops += out.stats.store_ops_queued as f64;
         max_depth += out.shard_stats.iter().map(|s| s.max_queue_depth).max().unwrap_or(0) as f64;
+        moved_bytes += out.stats.state_bytes_moved as f64;
     }
     let n = BENCH_SEEDS.len() as f64;
     Cell {
@@ -163,6 +186,8 @@ fn measure_replicated(
         waves,
         store: store_label(service),
         replication: replication.map_or_else(|| "-".to_owned(), |(n, k)| format!("{k}of{n}")),
+        scope: "-".to_owned(),
+        moved_bytes: moved_bytes / n,
         commit_ms: commit / n,
         restore_ms: restore / n,
         wall_ms: wall / n,
@@ -172,37 +197,147 @@ fn measure_replicated(
     }
 }
 
+/// One skew-dimension cell: the 96-instance Zipf-keyed grid under the FIFO
+/// store, deliberately run against a *small* (2-shard) store — whole-
+/// instance CCR-P must push all 48-per-shard persists through the FIFO
+/// queues while CCR-KR's ~15 hot-range owners barely queue at all, which
+/// is the skew story: scoped migration stays fast even when the store is
+/// modest. Keyed routing saturates the hot key-partition owners, so both
+/// strategies run without the wave timeout (the request-time backlog
+/// delays PREPARE past 30 s), the request lands early (10 s) to bound
+/// that backlog, and the transport buffer is raised so early-restored hot
+/// owners replaying their captured backlog do not overflow downstream
+/// instances that are still starting. The per-event store pricing is cut
+/// to 5 µs so ops stay base-dominated: the hot owners' captured backlog is
+/// an identical payload on both strategies' persists and fetches, and at
+/// the paper's 50 µs it drowns the round-trip-count differential this
+/// dimension exists to measure.
+fn measure_skew(strategy: &dyn MigrationStrategy, scope: &str) -> Cell {
+    let dag = library::grid_zipf(6, 8, 2);
+    let shards = 2;
+    let config = EngineConfig {
+        worker_ready_min: SimDuration::ZERO,
+        worker_ready_max: SimDuration::ZERO,
+        transport_buffer: 2048,
+        store: StoreLatencyModel {
+            per_event: SimDuration::from_micros(5),
+            ..StoreLatencyModel::default()
+        },
+        ..EngineConfig::default()
+    };
+    let (mut commit, mut restore, mut wall) = (0.0, 0.0, 0.0);
+    let (mut queued_wait, mut queued_ops, mut max_depth) = (0.0, 0.0, 0.0);
+    let mut moved_bytes = 0.0;
+    for &seed in &BENCH_SEEDS {
+        let started = Instant::now();
+        let out = MigrationController::new()
+            .with_engine_config(config)
+            .with_store_shards(shards)
+            .with_store_service(StoreServiceModel::FifoPerShard)
+            .with_request_at(SimTime::from_secs(10))
+            .with_horizon(SimTime::from_secs(300))
+            .with_seed(seed)
+            .run(&dag, strategy, ScaleDirection::In)
+            .expect("zipf grid placeable");
+        wall += started.elapsed().as_secs_f64() * 1e3;
+        assert!(out.completed, "skewed migration completes ({} scope {scope})", out.strategy);
+        assert_eq!(out.stats.events_dropped, 0, "reliable migration drops nothing");
+        commit += out.metrics.commit_wave.expect("commit span").as_millis_f64();
+        restore += out.metrics.restore_wave.expect("restore span").as_millis_f64();
+        queued_wait += out.stats.store_wait_us as f64 / 1e3;
+        queued_ops += out.stats.store_ops_queued as f64;
+        max_depth += out.shard_stats.iter().map(|s| s.max_queue_depth).max().unwrap_or(0) as f64;
+        moved_bytes += out.stats.state_bytes_moved as f64;
+    }
+    let n = BENCH_SEEDS.len() as f64;
+    Cell {
+        // `grid_zipf` keeps the scaled grid's name; label the keyed rows
+        // distinctly so `find` never confuses them with the unkeyed grid.
+        dag: format!("{}-zipf", dag.name()),
+        participants: 16 * 6,
+        shards,
+        strategy: strategy.name(),
+        waves: "pipelined",
+        store: store_label(StoreServiceModel::FifoPerShard),
+        replication: "-".to_owned(),
+        scope: scope.to_owned(),
+        moved_bytes: moved_bytes / n,
+        commit_ms: commit / n,
+        restore_ms: restore / n,
+        wall_ms: wall / n,
+        queued_wait_ms: queued_wait / n,
+        queued_ops: queued_ops / n,
+        max_queue_depth: max_depth / n,
+    }
+}
+
+/// One JSON summary row. The `scope` and `moved_bytes` keys are additive
+/// (appended after the legacy keys) so existing consumers of
+/// `BENCH_migration.json` keep parsing; `assert_legacy_json_keys` in main
+/// pins the legacy schema.
+fn json_row(c: &Cell) -> String {
+    let mut row = String::new();
+    let _ = write!(
+        row,
+        "  {{\"dag\": \"{}\", \"participants\": {}, \"shards\": {}, \"strategy\": \"{}\", \
+         \"waves\": \"{}\", \"store\": \"{}\", \"replication\": \"{}\", \
+         \"commit_ms\": {:.3}, \"restore_ms\": {:.3}, \
+         \"total_ms\": {:.3}, \"wall_ms\": {:.3}, \"queued_wait_ms\": {:.3}, \
+         \"queued_ops\": {:.1}, \"max_queue_depth\": {:.1}, \
+         \"scope\": \"{}\", \"moved_bytes\": {:.0}}}",
+        c.dag,
+        c.participants,
+        c.shards,
+        c.strategy,
+        c.waves,
+        c.store,
+        c.replication,
+        c.commit_ms,
+        c.restore_ms,
+        c.total_ms(),
+        c.wall_ms,
+        c.queued_wait_ms,
+        c.queued_ops,
+        c.max_queue_depth,
+        c.scope,
+        c.moved_bytes,
+    );
+    row
+}
+
+/// The JSON exporter grew `scope`/`moved_bytes` fields for the key-range
+/// rows; every key the previous schema emitted must still be present, or
+/// downstream consumers of the CI artifact silently break.
+fn assert_legacy_json_keys(cells: &[Cell]) {
+    let sample = json_row(cells.first().expect("at least one cell"));
+    for key in [
+        "dag",
+        "participants",
+        "shards",
+        "strategy",
+        "waves",
+        "store",
+        "replication",
+        "commit_ms",
+        "restore_ms",
+        "total_ms",
+        "wall_ms",
+        "queued_wait_ms",
+        "queued_ops",
+        "max_queue_depth",
+    ] {
+        assert!(
+            sample.contains(&format!("\"{key}\":")),
+            "legacy JSON key `{key}` missing from bench summary row: {sample}"
+        );
+    }
+}
+
 fn export_json(cells: &[Cell]) {
     let Ok(path) = std::env::var("BENCH_MIGRATION_JSON") else {
         return;
     };
-    let mut rows = Vec::new();
-    for c in cells {
-        let mut row = String::new();
-        let _ = write!(
-            row,
-            "  {{\"dag\": \"{}\", \"participants\": {}, \"shards\": {}, \"strategy\": \"{}\", \
-             \"waves\": \"{}\", \"store\": \"{}\", \"replication\": \"{}\", \
-             \"commit_ms\": {:.3}, \"restore_ms\": {:.3}, \
-             \"total_ms\": {:.3}, \"wall_ms\": {:.3}, \"queued_wait_ms\": {:.3}, \
-             \"queued_ops\": {:.1}, \"max_queue_depth\": {:.1}}}",
-            c.dag,
-            c.participants,
-            c.shards,
-            c.strategy,
-            c.waves,
-            c.store,
-            c.replication,
-            c.commit_ms,
-            c.restore_ms,
-            c.total_ms(),
-            c.wall_ms,
-            c.queued_wait_ms,
-            c.queued_ops,
-            c.max_queue_depth,
-        );
-        rows.push(row);
-    }
+    let rows: Vec<String> = cells.iter().map(json_row).collect();
     let body = format!("[\n{}\n]\n", rows.join(",\n"));
     if let Err(err) = std::fs::write(&path, body) {
         eprintln!("migration_latency: cannot write {path}: {err}");
@@ -226,6 +361,8 @@ fn find<'a>(
                 && c.waves == waves
                 && c.store == store
                 && c.replication == "-"
+                && c.scope == "-"
+                && !c.dag.contains("zipf")
         })
         .expect("cell measured")
 }
@@ -301,6 +438,10 @@ fn main() {
             Some((3, quorum)),
         ));
     }
+    // Skew rows: whole-instance CCR-P vs key-range-scoped CCR-KR on the
+    // Zipf-keyed 96-instance grid under the FIFO store.
+    cells.push(measure_skew(&CcrPipelined::new().without_wave_timeout(), "-"));
+    cells.push(measure_skew(&CcrKeyRange::new().without_wave_timeout(), "hot:600"));
 
     let mut table = TextTable::new(&[
         "DAG",
@@ -310,11 +451,13 @@ fn main() {
         "waves",
         "store",
         "repl",
+        "scope",
         "commit (ms)",
         "restore (ms)",
         "commit+restore (ms)",
         "queue wait (ms)",
         "max depth",
+        "state bytes",
         "host wall (ms)",
     ]);
     for c in &cells {
@@ -326,15 +469,18 @@ fn main() {
             c.waves.to_owned(),
             c.store.to_owned(),
             c.replication.clone(),
+            c.scope.clone(),
             format!("{:.2}", c.commit_ms),
             format!("{:.2}", c.restore_ms),
             format!("{:.2}", c.total_ms()),
             format!("{:.2}", c.queued_wait_ms),
             format!("{:.1}", c.max_queue_depth),
+            format!("{:.0}", c.moved_bytes),
             format!("{:.1}", c.wall_ms),
         ]);
     }
     println!("{table}");
+    assert_legacy_json_keys(&cells);
     export_json(&cells);
 
     // Headline number: restore+commit speedup at 96 instances / 8 shards.
@@ -475,10 +621,54 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Skew tripwire: on the Zipf-keyed grid, key-range-scoped CCR-KR must
+    // finish its commit+restore critical path >= 2x faster than
+    // whole-instance CCR-P (only the ~15 hot-range owners take store
+    // round-trips through the FIFO shards, vs all 96 participants) while
+    // persisting < 25% of the durable state bytes.
+    {
+        let p =
+            cells.iter().find(|c| c.dag.contains("zipf") && c.scope == "-").expect("skew CCR-P");
+        let kr =
+            cells.iter().find(|c| c.dag.contains("zipf") && c.scope != "-").expect("skew CCR-KR");
+        let speedup = p.total_ms() / kr.total_ms();
+        let byte_ratio = kr.moved_bytes / p.moved_bytes;
+        println!(
+            "skewed grid @ 96 instances, fifo store: CCR-KR commit+restore {:.2} ms vs \
+             CCR-P {:.2} ms ({speedup:.1}x), moving {:.0} of {:.0} state bytes \
+             ({:.0}% of the whole-instance path)",
+            kr.total_ms(),
+            p.total_ms(),
+            kr.moved_bytes,
+            p.moved_bytes,
+            byte_ratio * 100.0,
+        );
+        if speedup < 2.0 {
+            eprintln!(
+                "SKEW REGRESSION: key-range-scoped CCR-KR ({:.2} ms) is not >= 2x faster than \
+                 whole-instance CCR-P ({:.2} ms) on the Zipf-keyed grid ({speedup:.2}x < 2x) — \
+                 the scoped wave no longer shrinks the store critical path",
+                kr.total_ms(),
+                p.total_ms(),
+            );
+            std::process::exit(1);
+        }
+        if byte_ratio >= 0.25 {
+            eprintln!(
+                "SKEW REGRESSION: CCR-KR persisted {:.0} durable state bytes vs CCR-P's {:.0} \
+                 ({:.0}% >= 25%) — the hot-range scope is no longer leaving cold state resident",
+                kr.moved_bytes,
+                p.moved_bytes,
+                byte_ratio * 100.0,
+            );
+            std::process::exit(1);
+        }
+    }
     println!(
         "shape checks passed: parallel COMMIT beats sequential at {} instances, >=3x total \
          at 96/8, 1-shard contention binds under the fifo store, quorum-2 persists beat the \
-         full-replica wait, and a mid-COMMIT shard outage aborts through ROLLBACK",
+         full-replica wait, a mid-COMMIT shard outage aborts through ROLLBACK, and key-range \
+         scope is >=2x faster while moving <25% of state bytes on the skewed grid",
         16 * widest
     );
 }

@@ -1,0 +1,227 @@
+//! Capture-Checkpoint-Resume scoped to hot key ranges — skew-aware
+//! migration that moves only the state that is actually hot.
+//!
+//! Every whole-instance strategy — CCR and CCR-P included — pays for the
+//! *entire* state of every migrating instance: each one is captured,
+//! persisted, killed, respawned and restored, even when a Zipf-skewed key
+//! space concentrates most of the traffic (and most of the state growth)
+//! in a handful of key partitions. `CcrKeyRange` scopes all three waves
+//! with [`WaveScope::KeyRanges`]: the engine resolves the hottest
+//! partitions per migrating keyed task (smallest set reaching the
+//! configured weight target, default 60 %), and only their *owner*
+//! instances participate. Owners capture, persist and restore just the
+//! scoped ranges — priced by the bytes of those ranges, not the whole
+//! blob — while cold keyed instances keep processing straight through the
+//! migration, untouched by the rebalance. On an unkeyed dataflow the scope
+//! degenerates to the migrating-instance set and the strategy behaves like
+//! CCR-P.
+//!
+//! The plan declares [`RangeRouting::OwnerRespawn`]: migrated ranges
+//! return to their respawned owners, the only placement the engine's
+//! slot-stable keyed shuffle can serve — and the validator proves it
+//! (routing ranges to retired instances is rejected as
+//! [`PlanError::RangeRoutedToDeadInstance`](crate::PlanError::RangeRoutedToDeadInstance)).
+
+use crate::plan::{MigrationPlan, PausePolicy, PlanPhase, RangeRouting, WaveKind};
+use crate::strategy::{MigrationStrategy, StrategyKind};
+use flowmig_engine::{resend, KeyRangeScope, ProtocolConfig, WaveRouting, WaveScope};
+use flowmig_metrics::MigrationPhase;
+use flowmig_sim::SimDuration;
+
+/// The key-range-scoped CCR strategy.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_core::{CcrKeyRange, MigrationStrategy, StrategyKind};
+/// use flowmig_engine::WaveScope;
+///
+/// let s = CcrKeyRange::new();
+/// assert_eq!(s.kind(), StrategyKind::CcrKeyRange);
+/// // Every wave is narrowed to the hot key ranges:
+/// assert!(s.plan().phases().iter().all(|p| p.wave_scope.is_key_range()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CcrKeyRange {
+    hot_permille: u16,
+    init_resend: SimDuration,
+    wave_timeout: Option<SimDuration>,
+    /// Per-shard window for all three waves; 0 derives it from the store
+    /// shard count at the engine — against the *scoped* participant count.
+    fan_out: usize,
+}
+
+impl Default for CcrKeyRange {
+    fn default() -> Self {
+        CcrKeyRange {
+            hot_permille: KeyRangeScope::DEFAULT_HOT_PERMILLE,
+            init_resend: resend::FAST,
+            wave_timeout: Some(resend::ACK_TIMEOUT),
+            fan_out: 0,
+        }
+    }
+}
+
+impl CcrKeyRange {
+    /// Key-range CCR targeting the default 60 % hot weight, with the
+    /// derived fan-out and the paper's 1 s INIT resend cadence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the hot-weight target, in permille (clamped to 1000;
+    /// 1000 migrates the whole key space — CCR-P with extra addressing).
+    pub fn with_hot_permille(mut self, permille: u16) -> Self {
+        self.hot_permille = permille.min(1000);
+        self
+    }
+
+    /// Pins the per-shard window instead of deriving it from the shard
+    /// count (0 restores the derivation).
+    pub fn with_fan_out(mut self, fan_out: usize) -> Self {
+        self.fan_out = fan_out;
+        self
+    }
+
+    /// Overrides the INIT re-emission interval.
+    pub fn with_init_resend(mut self, interval: SimDuration) -> Self {
+        self.init_resend = interval;
+        self
+    }
+
+    /// Aborts the migration with a ROLLBACK wave if PREPARE/COMMIT do not
+    /// complete within `timeout`.
+    pub fn with_wave_timeout(mut self, timeout: SimDuration) -> Self {
+        self.wave_timeout = Some(timeout);
+        self
+    }
+
+    /// Disables the checkpoint-wave timeout.
+    pub fn without_wave_timeout(mut self) -> Self {
+        self.wave_timeout = None;
+        self
+    }
+
+    /// The configured hot-weight target in permille.
+    pub fn hot_permille(&self) -> u16 {
+        self.hot_permille
+    }
+
+    /// The configured per-shard window (0 = derived from shard count).
+    pub fn fan_out(&self) -> usize {
+        self.fan_out
+    }
+
+    /// The configured INIT resend interval.
+    pub fn init_resend(&self) -> SimDuration {
+        self.init_resend
+    }
+
+    /// The configured checkpoint-wave timeout, if any.
+    pub fn wave_timeout(&self) -> Option<SimDuration> {
+        self.wave_timeout
+    }
+}
+
+impl MigrationStrategy for CcrKeyRange {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::CcrKeyRange
+    }
+
+    /// The CCR-P skeleton with every wave scoped to the hot key ranges:
+    /// PREPARE installs range-filtered capture at the owners, COMMIT
+    /// persists one blob per hot range (cold counters stay resident),
+    /// the rebalance redeploys only the owners, and INIT merges the
+    /// fetched ranges back over the state that survived in place.
+    fn plan(&self) -> MigrationPlan {
+        let paced = WaveRouting::Parallel { fan_out: self.fan_out };
+        let scope = WaveScope::KeyRanges(KeyRangeScope::hot(self.hot_permille));
+        let mut prepare = PlanPhase::wave(WaveKind::Prepare, paced)
+            .scoped(MigrationPhase::Drain)
+            .with_scope(scope);
+        prepare.timeout = self.wave_timeout;
+        let mut commit = PlanPhase::wave(WaveKind::Commit, paced)
+            .scoped(MigrationPhase::Commit)
+            .with_scope(scope);
+        commit.timeout = self.wave_timeout;
+        MigrationPlan::new("CCR-KR", ProtocolConfig::ccr())
+            .pause(PausePolicy::UntilComplete)
+            .route_ranges(RangeRouting::OwnerRespawn)
+            .phase(prepare)
+            .phase(commit)
+            .phase(
+                PlanPhase::wave(WaveKind::Init, paced)
+                    .after_rebalance()
+                    .scoped(MigrationPhase::Restore)
+                    .with_scope(scope)
+                    .with_resend(self.init_resend),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlanError;
+
+    #[test]
+    fn defaults_target_sixty_percent_hot_weight() {
+        let s = CcrKeyRange::new();
+        assert_eq!(s.hot_permille(), 600);
+        assert_eq!(s.fan_out(), 0, "0 = derive from store shards");
+        assert_eq!(s.init_resend(), SimDuration::from_secs(1));
+        assert_eq!(s.wave_timeout(), Some(SimDuration::from_secs(30)));
+        assert_eq!(s.name(), "CCR-KR");
+    }
+
+    #[test]
+    fn builders_adjust_scope_and_window() {
+        let s = CcrKeyRange::new().with_hot_permille(900).with_fan_out(4);
+        assert_eq!(s.hot_permille(), 900);
+        assert_eq!(s.fan_out(), 4);
+        assert_eq!(s.with_hot_permille(2000).hot_permille(), 1000, "permille clamps");
+        let plan = s.plan();
+        assert!(plan
+            .phases()
+            .iter()
+            .all(|p| p.wave_scope
+                == WaveScope::KeyRanges(KeyRangeScope { hot_weight_permille: 900 })));
+    }
+
+    #[test]
+    fn plan_validates_with_owner_respawn_routing() {
+        let plan = CcrKeyRange::new().plan();
+        assert_eq!(plan.range_routing(), Some(RangeRouting::OwnerRespawn));
+        assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn dropping_the_routing_or_capture_invalidates_the_plan() {
+        // Same phases, no route_ranges declaration.
+        let s = CcrKeyRange::new();
+        let base = s.plan();
+        let mut unrouted =
+            MigrationPlan::new("CCR-KR", ProtocolConfig::ccr()).pause(PausePolicy::UntilComplete);
+        for &ph in base.phases() {
+            unrouted = unrouted.phase(ph);
+        }
+        assert_eq!(unrouted.validate().unwrap_err(), PlanError::MissingRangeRouting);
+
+        // A capture-less protocol cannot scope by key range even when its
+        // PREPARE is a safe sequential drain.
+        let mut uncaptured = MigrationPlan::new("CCR-KR", ProtocolConfig::dcr())
+            .pause(PausePolicy::UntilComplete)
+            .route_ranges(RangeRouting::OwnerRespawn);
+        for &ph in base.phases() {
+            let mut drained = ph;
+            drained.routing = WaveRouting::Sequential;
+            uncaptured = uncaptured.phase(drained);
+        }
+        assert_eq!(uncaptured.validate().unwrap_err(), PlanError::KeyRangeScopeWithoutCapture);
+    }
+
+    #[test]
+    fn protocol_matches_ccr() {
+        assert_eq!(CcrKeyRange::new().protocol(), ProtocolConfig::ccr());
+    }
+}

@@ -104,7 +104,7 @@ impl PlanCoordinator {
         }
         let kind = ph.wave.control_kind();
         ctl.reset_wave(kind);
-        ctl.start_wave(kind, ph.routing);
+        ctl.start_scoped_wave(kind, ph.routing, ph.wave_scope);
         if let Some(cadence) = ph.resend {
             ctl.schedule_resend(kind, cadence);
         }
@@ -229,7 +229,7 @@ impl MigrationCoordinator for PlanCoordinator {
                 // §3.1: re-emissions are cheap — already-done participants
                 // skip duplicates — so the plan's cadence can be aggressive.
                 let ph = *self.phase(i);
-                ctl.start_wave(kind, ph.routing);
+                ctl.start_scoped_wave(kind, ph.routing, ph.wave_scope);
                 if let Some(cadence) = ph.resend {
                     ctl.schedule_resend(kind, cadence);
                 }

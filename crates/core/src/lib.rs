@@ -20,6 +20,9 @@
 //! * [`DcrParallelInit`] — DCR with only the post-rebalance INIT fanned
 //!   out per store shard: the full sequential drain guarantee, a restore
 //!   that costs ~one store epoch per shard window.
+//! * [`CcrKeyRange`] — CCR narrowed to the hottest key ranges of a skewed
+//!   key space: only the hot-range owners migrate, only the hot ranges'
+//!   bytes move, and cold instances process straight through.
 //!
 //! Strategies are **data**: each one is a small builder returning a
 //! declarative [`MigrationPlan`] (see [`plan`] for the IR and a worked
@@ -54,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod ccr;
+mod ccr_key_range;
 mod ccr_pipelined;
 mod controller;
 mod dcr;
@@ -64,6 +68,7 @@ pub mod plan;
 mod strategy;
 
 pub use ccr::Ccr;
+pub use ccr_key_range::CcrKeyRange;
 pub use ccr_pipelined::CcrPipelined;
 pub use controller::{MigrationController, MigrationOutcome};
 pub use dcr::Dcr;
@@ -72,7 +77,7 @@ pub use dsm::Dsm;
 pub use interp::PlanCoordinator;
 pub use plan::{
     Barrier, MigrationPlan, PausePolicy, PeriodicCheckpoint, PlanError, PlanPhase, PlanValidator,
-    TimeoutAction, ValidPlan, WaveKind,
+    RangeRouting, TimeoutAction, ValidPlan, WaveKind,
 };
 pub use strategy::{
     default_strategy, strategies, strategy_named, MigrationStrategy, StrategyInfo, StrategyKind,

@@ -16,22 +16,25 @@
 //!
 //! A strategy is a [`MigrationStrategy`](crate::MigrationStrategy) impl
 //! whose [`plan`](crate::MigrationStrategy::plan) describes the timeline.
-//! Here is CCR with its restore wave fanned out per store shard (the
-//! classic broadcast capture kept as-is), run end to end:
+//! Here is CCR with its restore wave fanned out per store shard and every
+//! wave narrowed to the hottest key ranges ([`WaveScope::KeyRanges`] — on
+//! an unkeyed dataflow like Linear the scope degenerates to the migrating
+//! instances), run end to end:
 //!
 //! ```
 //! use flowmig_cluster::ScaleDirection;
 //! use flowmig_core::{
 //!     MigrationController, MigrationPlan, MigrationStrategy, PausePolicy, PlanPhase,
-//!     StrategyKind, WaveKind,
+//!     RangeRouting, StrategyKind, WaveKind,
 //! };
-//! use flowmig_engine::{ProtocolConfig, WaveRouting};
+//! use flowmig_engine::{KeyRangeScope, ProtocolConfig, WaveRouting, WaveScope};
 //! use flowmig_metrics::MigrationPhase;
 //! use flowmig_sim::{SimDuration, SimTime};
 //! use flowmig_topology::library;
 //!
 //! /// CCR, except INIT is `Parallel` with the fan-out derived from the
-//! /// store shard count (`fan_out: 0`).
+//! /// store shard count (`fan_out: 0`) and every wave is scoped to the
+//! /// ranges carrying ≥ 60 % of the key weight.
 //! struct CcrShardedRestore;
 //!
 //! impl MigrationStrategy for CcrShardedRestore {
@@ -44,22 +47,27 @@
 //!     }
 //!
 //!     fn plan(&self) -> MigrationPlan {
+//!         let hot = WaveScope::KeyRanges(KeyRangeScope::hot(600));
 //!         MigrationPlan::new("CCR+SR", ProtocolConfig::ccr())
 //!             .pause(PausePolicy::UntilComplete)
+//!             .route_ranges(RangeRouting::OwnerRespawn) // ranges return to respawned owners
 //!             .phase(
 //!                 PlanPhase::wave(WaveKind::Prepare, WaveRouting::Broadcast)
 //!                     .scoped(MigrationPhase::Drain)
+//!                     .with_scope(hot)
 //!                     .with_timeout(SimDuration::from_secs(30)),
 //!             )
 //!             .phase(
 //!                 PlanPhase::wave(WaveKind::Commit, WaveRouting::Sequential)
 //!                     .scoped(MigrationPhase::Commit)
+//!                     .with_scope(hot)
 //!                     .with_timeout(SimDuration::from_secs(30)),
 //!             )
 //!             .phase(
 //!                 PlanPhase::wave(WaveKind::Init, WaveRouting::Parallel { fan_out: 0 })
 //!                     .after_rebalance()
 //!                     .scoped(MigrationPhase::Restore)
+//!                     .with_scope(hot)
 //!                     .with_resend(SimDuration::from_secs(1)),
 //!             )
 //!     }
@@ -83,9 +91,12 @@
 //! PREPARE above (and `ProtocolConfig::dcr()` for the protocol) gives DCR;
 //! the validator is what keeps such edits honest — e.g. a non-sequential
 //! PREPARE without capture is rejected because in-flight events would be
-//! neither drained nor captured.
+//! neither drained nor captured, and a key-range scope without a
+//! [`route_ranges`](MigrationPlan::route_ranges) declaration (or without
+//! capture semantics at all) is rejected before it can strand hot-range
+//! state.
 
-use flowmig_engine::{ProtocolConfig, WaveRouting};
+use flowmig_engine::{ProtocolConfig, WaveRouting, WaveScope};
 use flowmig_metrics::{ControlKind, MigrationPhase};
 use flowmig_sim::SimDuration;
 use std::fmt;
@@ -167,6 +178,11 @@ pub struct PlanPhase {
     /// (already-done participants skip duplicates, so an aggressive
     /// cadence is cheap — §3.1).
     pub resend: Option<SimDuration>,
+    /// Which participants (or key ranges) the wave addresses. The default
+    /// [`WaveScope::AllParticipants`] is the pre-scope behaviour of every
+    /// whole-instance strategy; a [`WaveScope::KeyRanges`] scope narrows
+    /// the wave — and the state it moves — to the hot ranges.
+    pub wave_scope: WaveScope,
 }
 
 impl PlanPhase {
@@ -181,6 +197,7 @@ impl PlanPhase {
             timeout: None,
             on_timeout: TimeoutAction::Rollback,
             resend: None,
+            wave_scope: WaveScope::AllParticipants,
         }
     }
 
@@ -208,6 +225,27 @@ impl PlanPhase {
         self.resend = Some(cadence);
         self
     }
+
+    /// Narrows the wave to `scope` (see [`WaveScope`]).
+    pub fn with_scope(mut self, scope: WaveScope) -> Self {
+        self.wave_scope = scope;
+        self
+    }
+}
+
+/// Where a key-range-scoped plan places the migrated hot ranges when the
+/// rebalance respawns workers. A plan that scopes any wave to key ranges
+/// must declare its placement so the validator can prove every migrated
+/// range lands on an instance that exists after the rebalance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeRouting {
+    /// Hot ranges return to their respawned owner instances — the only
+    /// placement the engine's slot-stable keyed shuffle can serve.
+    OwnerRespawn,
+    /// Hot ranges are handed to instances retired by the scale-in. Those
+    /// instances are dead after the rebalance, so the validator rejects
+    /// this placement ([`PlanError::RangeRoutedToDeadInstance`]).
+    RetiredInstances,
 }
 
 /// How a plan handles the sources while migrating.
@@ -255,6 +293,7 @@ pub struct MigrationPlan {
     phases: Vec<PlanPhase>,
     periodic: Option<PeriodicCheckpoint>,
     rollback_resend: SimDuration,
+    range_routing: Option<RangeRouting>,
 }
 
 impl MigrationPlan {
@@ -268,6 +307,7 @@ impl MigrationPlan {
             phases: Vec::new(),
             periodic: None,
             rollback_resend: SimDuration::from_secs(1),
+            range_routing: None,
         }
     }
 
@@ -293,6 +333,19 @@ impl MigrationPlan {
     pub fn rollback_resend(mut self, cadence: SimDuration) -> Self {
         self.rollback_resend = cadence;
         self
+    }
+
+    /// Declares where migrated key ranges land after the rebalance —
+    /// required whenever any phase carries a [`WaveScope::KeyRanges`]
+    /// scope.
+    pub fn route_ranges(mut self, routing: RangeRouting) -> Self {
+        self.range_routing = Some(routing);
+        self
+    }
+
+    /// The declared key-range placement, if any.
+    pub fn range_routing(&self) -> Option<RangeRouting> {
+        self.range_routing
     }
 
     /// The plan's display name.
@@ -411,6 +464,21 @@ pub enum PlanError {
     /// ([`MigrationPhase::Pause`], [`MigrationPhase::Rebalance`] or
     /// [`MigrationPhase::Resume`]), which the coordinator records itself.
     ReservedScope(MigrationPhase),
+    /// A COMMIT narrowed by a [`WaveScope`] with no following INIT whose
+    /// scope covers it (see [`WaveScope::covers_commit`]): part of the
+    /// persisted state would never be restored.
+    ScopedCommitUncovered,
+    /// A [`WaveScope::KeyRanges`] scope without `capture_on_prepare`: the
+    /// hot-range pending lists the scope migrates only exist under capture
+    /// semantics.
+    KeyRangeScopeWithoutCapture,
+    /// A [`WaveScope::KeyRanges`] scope without a
+    /// [`route_ranges`](MigrationPlan::route_ranges) declaration: the
+    /// validator cannot prove the migrated ranges land anywhere.
+    MissingRangeRouting,
+    /// The declared [`RangeRouting`] places migrated ranges on instances
+    /// that are dead after the rebalance.
+    RangeRoutedToDeadInstance,
 }
 
 impl fmt::Display for PlanError {
@@ -452,6 +520,18 @@ impl fmt::Display for PlanError {
             PlanError::ReservedScope(phase) => {
                 write!(f, "scope {phase:?} is engine-managed and cannot be claimed by a phase")
             }
+            PlanError::ScopedCommitUncovered => f.write_str(
+                "scoped Commit without a covering Init scope: persisted state would be stranded",
+            ),
+            PlanError::KeyRangeScopeWithoutCapture => f.write_str(
+                "key-range scope without capture_on_prepare: hot-range pending lists need capture",
+            ),
+            PlanError::MissingRangeRouting => f.write_str(
+                "key-range scope without a route_ranges declaration: migrated ranges are unplaced",
+            ),
+            PlanError::RangeRoutedToDeadInstance => f.write_str(
+                "range routing targets instances retired by the rebalance: ranges would be lost",
+            ),
         }
     }
 }
@@ -528,6 +608,31 @@ impl PlanValidator {
         }
         if plan.protocol.persist_pending && !plan.protocol.capture_on_prepare {
             return Err(PlanError::PendingWithoutCapture);
+        }
+        // Scope rules: a narrowed COMMIT must be restored by an INIT whose
+        // scope covers it, and key-range scopes need capture semantics plus
+        // a range placement that survives the rebalance.
+        if let Some(c) = commit_idx {
+            let commit_scope = phases[c].wave_scope;
+            if commit_scope.is_scoped() {
+                let init_scope =
+                    phases.iter().find(|p| p.wave == WaveKind::Init).map(|p| p.wave_scope);
+                if !init_scope.is_some_and(|s| s.covers_commit(commit_scope)) {
+                    return Err(PlanError::ScopedCommitUncovered);
+                }
+            }
+        }
+        if phases.iter().any(|p| p.wave_scope.is_key_range()) {
+            if !plan.protocol.capture_on_prepare {
+                return Err(PlanError::KeyRangeScopeWithoutCapture);
+            }
+            match plan.range_routing {
+                None => return Err(PlanError::MissingRangeRouting),
+                Some(RangeRouting::RetiredInstances) => {
+                    return Err(PlanError::RangeRoutedToDeadInstance);
+                }
+                Some(RangeRouting::OwnerRespawn) => {}
+            }
         }
         if plan.protocol.periodic_checkpoint != plan.periodic.is_some() {
             return Err(PlanError::PeriodicMismatch);
@@ -715,6 +820,75 @@ mod tests {
             bad.validate().unwrap_err(),
             PlanError::ReservedScope(MigrationPhase::Rebalance)
         );
+    }
+
+    #[test]
+    fn scoped_commit_needs_a_covering_init() {
+        use flowmig_engine::KeyRangeScope;
+        let kr = |permille| WaveScope::KeyRanges(KeyRangeScope::hot(permille));
+        let scoped = |wave, routing, scope| PlanPhase::wave(wave, routing).with_scope(scope);
+        let base = |init: PlanPhase| {
+            MigrationPlan::new("T", ProtocolConfig::ccr())
+                .route_ranges(RangeRouting::OwnerRespawn)
+                .phase(scoped(WaveKind::Prepare, WaveRouting::Broadcast, kr(600)))
+                .phase(scoped(WaveKind::Commit, WaveRouting::Sequential, kr(600)))
+                .phase(init)
+        };
+
+        // An unscoped INIT addresses whole-instance blobs; it cannot read
+        // what a key-range COMMIT persisted.
+        assert_eq!(base(restore_phase()).validate().unwrap_err(), PlanError::ScopedCommitUncovered);
+        // A narrower INIT scope strands the commit's wider hot set.
+        assert_eq!(
+            base(restore_phase().with_scope(kr(300))).validate().unwrap_err(),
+            PlanError::ScopedCommitUncovered
+        );
+        // Equal or wider coverage validates.
+        assert!(base(restore_phase().with_scope(kr(600))).validate().is_ok());
+        assert!(base(restore_phase().with_scope(kr(800))).validate().is_ok());
+    }
+
+    #[test]
+    fn key_range_scope_requires_capture_semantics() {
+        use flowmig_engine::KeyRangeScope;
+        let scope = WaveScope::KeyRanges(KeyRangeScope::hot(600));
+        // Sequential drain keeps UnsafePrepareRouting quiet; the scope rule
+        // itself must fire: no capture means no hot-range pending lists.
+        let plan = MigrationPlan::new("T", ProtocolConfig::dcr())
+            .route_ranges(RangeRouting::OwnerRespawn)
+            .phase(PlanPhase::wave(WaveKind::Prepare, WaveRouting::Sequential).with_scope(scope))
+            .phase(PlanPhase::wave(WaveKind::Commit, WaveRouting::Sequential).with_scope(scope))
+            .phase(restore_phase().with_scope(scope));
+        assert_eq!(plan.validate().unwrap_err(), PlanError::KeyRangeScopeWithoutCapture);
+    }
+
+    #[test]
+    fn migrated_ranges_must_route_to_live_instances() {
+        use flowmig_engine::KeyRangeScope;
+        let scope = WaveScope::KeyRanges(KeyRangeScope::hot(600));
+        let phases = |plan: MigrationPlan| {
+            plan.phase(PlanPhase::wave(WaveKind::Prepare, WaveRouting::Broadcast).with_scope(scope))
+                .phase(PlanPhase::wave(WaveKind::Commit, WaveRouting::Sequential).with_scope(scope))
+                .phase(restore_phase().with_scope(scope))
+        };
+
+        // No placement declared: the validator cannot prove the ranges land.
+        let unrouted = phases(MigrationPlan::new("T", ProtocolConfig::ccr()));
+        assert_eq!(unrouted.validate().unwrap_err(), PlanError::MissingRangeRouting);
+
+        // Routing the hot ranges to scale-in retirees sends them to
+        // instances that are dead after the rebalance.
+        let dead = phases(
+            MigrationPlan::new("T", ProtocolConfig::ccr())
+                .route_ranges(RangeRouting::RetiredInstances),
+        );
+        assert_eq!(dead.validate().unwrap_err(), PlanError::RangeRoutedToDeadInstance);
+
+        // Owner respawn is the provable placement.
+        let owners = phases(
+            MigrationPlan::new("T", ProtocolConfig::ccr()).route_ranges(RangeRouting::OwnerRespawn),
+        );
+        assert!(owners.validate().is_ok());
     }
 
     #[test]

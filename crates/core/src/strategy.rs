@@ -2,7 +2,7 @@
 
 use crate::interp::PlanCoordinator;
 use crate::plan::MigrationPlan;
-use crate::{Ccr, CcrPipelined, Dcr, DcrParallelInit, Dsm};
+use crate::{Ccr, CcrKeyRange, CcrPipelined, Dcr, DcrParallelInit, Dsm};
 use flowmig_engine::{MigrationCoordinator, ProtocolConfig};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -28,6 +28,10 @@ pub enum StrategyKind {
     /// shard, the fan-out derived from the shard count
     /// ([`CcrPipelined`]). Expressible only as a plan.
     CcrPipelined,
+    /// CCR scoped to the hottest key ranges ([`CcrKeyRange`]): only the
+    /// hot-range owners migrate, and only the hot ranges' bytes move —
+    /// the skew-aware strategy.
+    CcrKeyRange,
 }
 
 impl fmt::Display for StrategyKind {
@@ -49,6 +53,7 @@ impl StrategyKind {
             StrategyKind::DcrParallelInit => "DCR-PI",
             StrategyKind::Ccr => "CCR",
             StrategyKind::CcrPipelined => "CCR-P",
+            StrategyKind::CcrKeyRange => "CCR-KR",
         }
     }
 }
@@ -169,10 +174,19 @@ fn build_ccr_pipelined(par: Option<usize>) -> Box<dyn MigrationStrategy> {
     })
 }
 
+fn build_ccr_key_range(par: Option<usize>) -> Box<dyn MigrationStrategy> {
+    Box::new(match par {
+        // CCR-KR's waves are parallel by construction; the knob overrides
+        // its per-shard window instead (like CcrPipelined).
+        Some(fan_out) => CcrKeyRange::new().with_fan_out(fan_out),
+        None => CcrKeyRange::new(),
+    })
+}
+
 /// The single strategy registry: kind, CLI spelling, paper name and plan
 /// builder for every shipped strategy. New plans register here once and
 /// appear in the CLI, the sweeps and the bench matrices.
-static REGISTRY: [StrategyInfo; 5] = [
+static REGISTRY: [StrategyInfo; 6] = [
     StrategyInfo {
         kind: StrategyKind::Dsm,
         cli_name: "dsm",
@@ -202,6 +216,12 @@ static REGISTRY: [StrategyInfo; 5] = [
         cli_name: "ccr-pipelined",
         paper_name: "Capture-Checkpoint-Resume, pipelined waves",
         builder: build_ccr_pipelined,
+    },
+    StrategyInfo {
+        kind: StrategyKind::CcrKeyRange,
+        cli_name: "ccr-key-range",
+        paper_name: "Capture-Checkpoint-Resume, hot key ranges only",
+        builder: build_ccr_key_range,
     },
 ];
 
@@ -236,6 +256,7 @@ mod tests {
         assert_eq!(StrategyKind::DcrParallelInit.to_string(), "DCR-PI");
         assert_eq!(StrategyKind::Ccr.to_string(), "CCR");
         assert_eq!(StrategyKind::CcrPipelined.to_string(), "CCR-P");
+        assert_eq!(StrategyKind::CcrKeyRange.to_string(), "CCR-KR");
         assert_eq!(StrategyKind::ALL.len(), 3, "ALL is the paper's matrix");
     }
 
@@ -247,6 +268,7 @@ mod tests {
             StrategyKind::DcrParallelInit,
             StrategyKind::Ccr,
             StrategyKind::CcrPipelined,
+            StrategyKind::CcrKeyRange,
         ] {
             let rows = strategies().iter().filter(|i| i.kind == kind).count();
             assert_eq!(rows, 1, "{kind} registered exactly once");
@@ -265,6 +287,10 @@ mod tests {
         assert_eq!(
             strategy_named("CCR-Pipelined").map(|i| i.kind),
             Some(StrategyKind::CcrPipelined)
+        );
+        assert_eq!(
+            strategy_named("CCR-Key-Range").map(|i| i.kind),
+            Some(StrategyKind::CcrKeyRange)
         );
         assert!(strategy_named("nope").is_none());
     }

@@ -10,14 +10,61 @@ use crate::acker::{AckOutcome, Acker};
 use crate::config::EngineConfig;
 use crate::event::{ControlEvent, ControlSender, DataEvent, Ev, QueueItem};
 use crate::instance::{InstanceRuntime, Work, WorkerStatus};
-use crate::protocol::{MigrationCoordinator, ProtocolConfig, WaveDiscipline, WaveRouting};
+use crate::protocol::{
+    InstanceScope, MigrationCoordinator, ProtocolConfig, WaveDiscipline, WaveRouting, WaveScope,
+};
 use crate::stats::EngineStats;
 use crate::store::{AdmitOutcome, ShardedStateStore, StateBlob, StoreOpKind};
 use flowmig_cluster::{Assignment, ScalePlan, VmId, VmRole};
 use flowmig_metrics::{ControlKind, MigrationPhase, RootId, TraceEvent, TraceLog};
 use flowmig_sim::{Process, RunOutcome, Scheduler, SimDuration, SimRng, SimTime, Simulation};
-use flowmig_topology::{Dataflow, InstanceId, InstanceSet, TaskId, TaskKind};
+use flowmig_topology::{Dataflow, InstanceId, InstanceSet, KeyRange, TaskId, TaskKind};
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Mixes a root id into a uniformly distributed key hash (the SplitMix64
+/// finalizer): keyed tasks partition their key space over this hash, so
+/// sibling instances of one task agree on an event's partition without
+/// coordination.
+fn key_hash(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Compresses a sorted, deduplicated partition list into maximal
+/// contiguous [`KeyRange`]s.
+fn compress_partitions(mut parts: Vec<u32>) -> Vec<KeyRange> {
+    parts.sort_unstable();
+    parts.dedup();
+    let mut ranges = Vec::new();
+    let mut iter = parts.into_iter();
+    let Some(first) = iter.next() else {
+        return ranges;
+    };
+    let (mut start, mut end) = (first, first + 1);
+    for p in iter {
+        if p == end {
+            end += 1;
+        } else {
+            ranges.push(KeyRange::new(start, end));
+            start = p;
+            end = p + 1;
+        }
+    }
+    ranges.push(KeyRange::new(start, end));
+    ranges
+}
+
+/// A resolved wave scope: which participants a scoped wave addresses, and
+/// (for key-range scopes) which key ranges of each keyed member actually
+/// move. A member without a `ranges` entry migrates whole-instance (an
+/// unkeyed task under a key-range scope has no ranges to slice).
+#[derive(Debug, Clone, Default)]
+struct ScopeSet {
+    members: HashSet<InstanceId>,
+    ranges: HashMap<usize, Vec<KeyRange>>,
+}
 
 /// A root event cached at the source for replay (acking enabled only).
 #[derive(Debug, Clone, Copy)]
@@ -90,6 +137,13 @@ pub struct EngineModel {
     parallel_pending: HashMap<ControlKind, Vec<VecDeque<usize>>>,
     trackers: HashMap<ControlKind, WaveTracker>,
     participants: HashSet<InstanceId>,
+    /// Resolved scope of the most recent wave per kind; absent means the
+    /// wave addresses every participant (the default, pin-preserving path).
+    scope_sets: HashMap<ControlKind, ScopeSet>,
+    /// Rebalance kill/respawn set override, installed when a key-range
+    /// scope is resolved: only the members of the scoped wave are torn
+    /// down — cold instances keep running through the migration.
+    rebalance_scope: Option<Vec<InstanceId>>,
     expected_senders: Vec<usize>,
     pinned_vm: VmId,
 }
@@ -151,8 +205,28 @@ impl EngineCtl<'_, '_> {
         self.model.paused
     }
 
-    /// Starts a control wave; returns its wave number (resends increment).
+    /// Starts a control wave addressing every participant; returns its
+    /// wave number (resends increment). Clears any scope installed for
+    /// `kind` by an earlier [`Self::start_scoped_wave`].
     pub fn start_wave(&mut self, kind: ControlKind, routing: WaveRouting) -> u32 {
+        self.start_scoped_wave(kind, routing, WaveScope::AllParticipants)
+    }
+
+    /// Starts a control wave addressing only the participants `scope`
+    /// resolves to. [`WaveScope::AllParticipants`] is byte-identical to
+    /// [`Self::start_wave`]; an instance scope restricts the wave to the
+    /// migrating participants; a key-range scope additionally restricts
+    /// keyed tasks to the instances owning a hot partition and slices
+    /// their persists/fetches to those ranges (and narrows the rebalance
+    /// to the scoped members). The scope is re-resolved on every call, so
+    /// resends stay consistent with the first emission.
+    pub fn start_scoped_wave(
+        &mut self,
+        kind: ControlKind,
+        routing: WaveRouting,
+        scope: WaveScope,
+    ) -> u32 {
+        self.model.install_scope(kind, scope);
         self.model.start_wave(kind, routing, self.sched)
     }
 
@@ -174,12 +248,13 @@ impl EngineCtl<'_, '_> {
         self.sched.after(delay, Ev::StrategyTimer { token });
     }
 
-    /// Whether every participant has acked the current `kind` phase.
+    /// Whether every scoped participant has acked the current `kind` phase
+    /// (every participant, for an unscoped wave).
     pub fn wave_complete(&self, kind: ControlKind) -> bool {
         self.model
             .trackers
             .get(&kind)
-            .is_some_and(|t| t.acked.len() >= self.model.participants.len())
+            .is_some_and(|t| t.acked.len() >= self.model.wave_target_count(kind))
     }
 
     /// Number of participants that have acked the current `kind` phase.
@@ -190,6 +265,12 @@ impl EngineCtl<'_, '_> {
     /// Total wave participants (operator + sink instances).
     pub fn participant_count(&self) -> usize {
         self.model.participants.len()
+    }
+
+    /// Participants the current `kind` wave addresses: the scoped member
+    /// count when a scope is installed, the full participant set otherwise.
+    pub fn scoped_participant_count(&self, kind: ControlKind) -> usize {
+        self.model.wave_target_count(kind)
     }
 
     /// Invokes Storm's `rebalance` command with zero timeout: migrating
@@ -315,6 +396,8 @@ impl EngineModel {
             parallel_pending: HashMap::new(),
             trackers: HashMap::new(),
             participants,
+            scope_sets: HashMap::new(),
+            rebalance_scope: None,
             expected_senders,
             pinned_vm,
         }
@@ -468,7 +551,7 @@ impl EngineModel {
             let id = self.rng.id();
             xor ^= id;
             let child = DataEvent { id, root, generated_at, replayed };
-            let to = self.route(instance, edge, dtask);
+            let to = self.route(instance, edge, dtask, root);
             self.deliver(QueueItem::Data(child), Some(instance), to, sched);
         }
         if self.protocol.ack_user_events {
@@ -484,8 +567,19 @@ impl EngineModel {
         }
     }
 
-    fn route(&mut self, from: usize, edge: usize, dtask: TaskId) -> usize {
+    fn route(&mut self, from: usize, edge: usize, dtask: TaskId, root: RootId) -> usize {
         let targets = self.instances.of_task(dtask);
+        let spec = self.dag.spec(dtask);
+        if spec.is_keyed() {
+            // Fields-grouped routing: the event's key partition picks the
+            // owning replica (partition `p` is owned by slot
+            // `p % replicas`), so sibling events of one key always land on
+            // the same instance and per-key state stays single-writer. The
+            // round-robin cursor is left untouched — unkeyed downstream
+            // tasks of the same edge keep their historical shuffle order.
+            let p = spec.partition_of(key_hash(root.0));
+            return targets[p as usize % targets.len()].index();
+        }
         let rt = &mut self.runtimes[from];
         let cursor = rt.rr[edge];
         rt.rr[edge] = cursor.wrapping_add(1);
@@ -508,7 +602,35 @@ impl EngineModel {
     }
 
     fn on_deliver(&mut self, to: usize, item: QueueItem, sched: &mut Scheduler<'_, Ev>) {
+        // A scoped rebalance redeploys only the scope members while the
+        // rest of the topology keeps processing, so live upstreams still
+        // emit into the dead slots. Their transports know the slot is
+        // coming back and hold a bounded buffer for the reconnect — the
+        // same contract `Starting` gets below. Whole-topology rebalances
+        // keep the drop: every upstream is dead or drained by then, and
+        // DSM's measured loss depends on it.
+        let respawning = self
+            .rebalance_scope
+            .as_ref()
+            .is_some_and(|scope| scope.contains(&InstanceId::from_index(to)));
         let rt = &mut self.runtimes[to];
+        if rt.status == WorkerStatus::Dead && respawning {
+            match item {
+                QueueItem::Data(d) => {
+                    if rt.queue.len() < self.config.transport_buffer {
+                        rt.queue.push_back(QueueItem::Data(d));
+                    } else {
+                        self.stats.events_dropped += 1;
+                        self.trace
+                            .record(TraceEvent::EventDropped { root: d.root, at: sched.now() });
+                    }
+                }
+                QueueItem::Control(_) => {
+                    self.stats.control_dropped += 1;
+                }
+            }
+            return;
+        }
         match rt.status {
             WorkerStatus::Running => {
                 rt.queue.push_back(item);
@@ -548,8 +670,9 @@ impl EngineModel {
 
     fn on_wake(&mut self, instance: usize, sched: &mut Scheduler<'_, Ev>) {
         let task = self.instances.task_of(InstanceId::from_index(instance));
-        let latency = self.dag.spec(task).latency();
-        let is_operator = self.dag.spec(task).kind() == TaskKind::Operator;
+        let spec = self.dag.spec(task);
+        let latency = spec.latency();
+        let is_operator = spec.kind() == TaskKind::Operator;
         let control_latency = self.config.control_latency;
         let rt = &mut self.runtimes[instance];
         if rt.busy() || rt.status != WorkerStatus::Running {
@@ -562,7 +685,19 @@ impl EngineModel {
                         rt.pre_init.push_back(d);
                         continue;
                     }
-                    if rt.capture && is_operator {
+                    // Under a key-range capture only events whose key
+                    // falls in a migrating range are diverted; cold-range
+                    // events keep processing through the migration.
+                    let captures = rt.capture
+                        && is_operator
+                        && match &rt.capture_ranges {
+                            None => true,
+                            Some(ranges) => {
+                                let p = spec.partition_of(key_hash(d.root.0));
+                                ranges.iter().any(|r| r.contains(p))
+                            }
+                        };
+                    if captures {
                         rt.pending.push(d);
                         self.stats.events_captured += 1;
                         continue;
@@ -605,8 +740,18 @@ impl EngineModel {
     fn finish_data(&mut self, instance: usize, d: DataEvent, sched: &mut Scheduler<'_, Ev>) {
         let iid = InstanceId::from_index(instance);
         let task = self.instances.task_of(iid);
-        let kind = self.dag.spec(task).kind();
+        let spec = self.dag.spec(task);
+        let kind = spec.kind();
         self.runtimes[instance].processed += 1;
+        if spec.is_keyed() {
+            let parts = spec.key_partitions() as usize;
+            let p = spec.partition_of(key_hash(d.root.0)) as usize;
+            let rt = &mut self.runtimes[instance];
+            if rt.key_processed.len() < parts {
+                rt.key_processed.resize(parts, 0);
+            }
+            rt.key_processed[p] += 1;
+        }
         if d.replayed {
             self.stats.replayed_event_messages += 1;
         }
@@ -642,7 +787,7 @@ impl EngineModel {
                             generated_at: d.generated_at,
                             replayed: d.replayed,
                         };
-                        let to = self.route(instance, edge, dtask);
+                        let to = self.route(instance, edge, dtask, d.root);
                         self.deliver(QueueItem::Data(child), Some(instance), to, sched);
                     }
                 }
@@ -701,6 +846,100 @@ impl EngineModel {
     // Control plane: waves
     // ------------------------------------------------------------------
 
+    /// Resolves `scope` against the current migration set and key spaces
+    /// and installs the result for `kind` waves (removes any scope for
+    /// [`WaveScope::AllParticipants`]). A key-range scope also narrows the
+    /// rebalance to the scoped members.
+    fn install_scope(&mut self, kind: ControlKind, scope: WaveScope) {
+        match scope {
+            WaveScope::AllParticipants => {
+                self.scope_sets.remove(&kind);
+            }
+            WaveScope::Instances(InstanceScope::Migrating) => {
+                let members: HashSet<InstanceId> = self
+                    .migrating
+                    .iter()
+                    .copied()
+                    .filter(|i| self.participants.contains(i))
+                    .collect();
+                self.scope_sets.insert(kind, ScopeSet { members, ranges: HashMap::new() });
+            }
+            WaveScope::KeyRanges(kr) => {
+                let set = self.resolve_key_range_scope(kr.hot_weight_permille);
+                let mut kill_set: Vec<InstanceId> = set.members.iter().copied().collect();
+                kill_set.sort_unstable_by_key(|i| i.index());
+                self.rebalance_scope = Some(kill_set);
+                self.scope_sets.insert(kind, set);
+            }
+        }
+    }
+
+    /// Resolves a key-range scope: for each migrating participant, keyed
+    /// tasks contribute the instance only if it owns at least one hot
+    /// partition (partition `p` is owned by the task replica at slot
+    /// `p % replicas`), sliced to those partitions; unkeyed tasks migrate
+    /// whole-instance. Falls back to the full migrating set if no instance
+    /// owns any hot partition (e.g. a key-range scope over an unkeyed DAG
+    /// degenerates to an instance scope).
+    fn resolve_key_range_scope(&self, permille: u16) -> ScopeSet {
+        let mut members: HashSet<InstanceId> = HashSet::new();
+        let mut ranges: HashMap<usize, Vec<KeyRange>> = HashMap::new();
+        for &iid in &self.migrating {
+            if !self.participants.contains(&iid) {
+                continue;
+            }
+            let task = self.instances.task_of(iid);
+            let spec = self.dag.spec(task);
+            if !spec.is_keyed() {
+                members.insert(iid);
+                continue;
+            }
+            let replicas = self.instances.of_task(task);
+            let slot =
+                replicas.iter().position(|&i| i == iid).expect("instance belongs to its task")
+                    as u32;
+            let k = replicas.len() as u32;
+            let owned: Vec<u32> = spec
+                .hot_ranges(permille)
+                .iter()
+                .flat_map(|r| r.start..r.end)
+                .filter(|p| p % k == slot)
+                .collect();
+            if owned.is_empty() {
+                continue; // this replica's state is all cold: it stays put
+            }
+            members.insert(iid);
+            ranges.insert(iid.index(), compress_partitions(owned));
+        }
+        if members.is_empty() {
+            // Nothing owns a hot partition (all-cold edge case): degrade
+            // to the instance scope rather than wedge a zero-target wave.
+            members =
+                self.migrating.iter().copied().filter(|i| self.participants.contains(i)).collect();
+            ranges.clear();
+        }
+        ScopeSet { members, ranges }
+    }
+
+    /// Participants the current `kind` wave addresses — the completion
+    /// denominator for scoped waves.
+    fn wave_target_count(&self, kind: ControlKind) -> usize {
+        self.scope_sets.get(&kind).map_or(self.participants.len(), |s| s.members.len())
+    }
+
+    /// The hot key ranges the current `kind` wave slices `instance` to,
+    /// if that wave is key-range scoped and `instance` is a keyed member.
+    fn scoped_ranges(&self, kind: ControlKind, instance: usize) -> Option<&Vec<KeyRange>> {
+        self.scope_sets.get(&kind).and_then(|s| s.ranges.get(&instance))
+    }
+
+    /// Store-op pricing surcharge for the per-partition counters a keyed
+    /// persist/fetch carries, in pending-event equivalents (zero for
+    /// unkeyed state, which keeps pre-keyed pricing byte-identical).
+    fn counter_event_equiv(partitions: usize) -> usize {
+        (std::mem::size_of::<u64>() * partitions).div_ceil(std::mem::size_of::<DataEvent>())
+    }
+
     fn start_wave(
         &mut self,
         kind: ControlKind,
@@ -737,15 +976,18 @@ impl EngineModel {
             injections
         } else {
             // Hub-and-spoke from the checkpoint source; sender identity is
-            // irrelevant (no alignment). Re-sent *windowed* waves target
-            // only the instances still missing (e.g. workers that dropped
-            // the INIT while starting): already-acked instances would ack
-            // as duplicates without advancing any window, wedging the
-            // shard behind them.
+            // irrelevant (no alignment). A scoped wave targets only the
+            // scope's members. Re-sent *windowed* waves target only the
+            // instances still missing (e.g. workers that dropped the INIT
+            // while starting): already-acked instances would ack as
+            // duplicates without advancing any window, wedging the shard
+            // behind them.
             let acked = self.trackers.get(&kind).map(|t| &t.acked);
+            let scope = self.scope_sets.get(&kind);
             let mut targets: Vec<usize> = self
                 .participants
                 .iter()
+                .filter(|i| scope.is_none_or(|s| s.members.contains(i)))
                 .filter(|i| !(disc.windowed && acked.is_some_and(|a| a.contains(i))))
                 .map(|i| i.index())
                 .collect();
@@ -757,11 +999,18 @@ impl EngineModel {
                 // instances queue in `parallel_pending` and are injected
                 // one by one as operations complete
                 // (`advance_parallel_wave`). Shards progress concurrently,
-                // so wave time is the max over shards, not the sum.
-                let window = self.effective_fan_out(match routing {
-                    WaveRouting::Parallel { fan_out } => fan_out,
-                    _ => 0,
-                });
+                // so wave time is the max over shards, not the sum. The
+                // fair-share window derives from the *scoped* participant
+                // count: a scoped wave with the full-set window would let
+                // every operation through at once.
+                let scoped_participants = self.wave_target_count(kind);
+                let window = self.effective_fan_out(
+                    match routing {
+                        WaveRouting::Parallel { fan_out } => fan_out,
+                        _ => 0,
+                    },
+                    scoped_participants,
+                );
                 let shard_count = self.store.shard_count();
                 let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); shard_count];
                 for to in targets {
@@ -794,15 +1043,19 @@ impl EngineModel {
     /// Resolves a wave's per-shard window: 0 defers to the engine knob,
     /// and a zero knob derives the window from the store topology
     /// (`ceil(participants / store_shards)` — see
-    /// [`EngineConfig::derived_fan_out`]).
-    fn effective_fan_out(&self, fan_out: usize) -> usize {
+    /// [`EngineConfig::derived_fan_out`]). `participants` is the wave's
+    /// *effective* participant count — the scoped member count for a
+    /// scoped wave, the full set otherwise — so a scoped wave's fair
+    /// share does not over-provision against the instances that are not
+    /// migrating.
+    fn effective_fan_out(&self, fan_out: usize, participants: usize) -> usize {
         if fan_out > 0 {
             return fan_out;
         }
         if self.config.wave_fan_out > 0 {
             return self.config.wave_fan_out;
         }
-        self.config.derived_fan_out(self.participants.len())
+        self.config.derived_fan_out(participants)
     }
 
     /// The discipline of the most recent `kind` wave (sequential before
@@ -961,7 +1214,12 @@ impl EngineModel {
                     self.runtimes[instance].seen.clear(ControlKind::Prepare);
                 }
                 if self.protocol.capture_on_prepare {
-                    self.runtimes[instance].capture = true;
+                    // A key-range PREPARE narrows the capture to the
+                    // instance's migrating ranges; `None` captures all.
+                    let ranges = self.scoped_ranges(ControlKind::Prepare, instance).cloned();
+                    let rt = &mut self.runtimes[instance];
+                    rt.capture = true;
+                    rt.capture_ranges = ranges;
                 } else {
                     let processed = self.runtimes[instance].processed;
                     self.runtimes[instance].prepared = Some(processed);
@@ -988,14 +1246,27 @@ impl EngineModel {
                     self.runtimes[instance].seen.clear(ControlKind::Commit);
                 }
                 // Second half: persist to the state store (service time
-                // plus any per-shard queueing delay).
+                // plus any per-shard queueing delay). Keyed state adds its
+                // per-partition counters to the payload — sliced to the
+                // hot ranges under a key-range scope, so a range persist
+                // is priced by the bytes actually moving.
                 let pending_len = if self.protocol.persist_pending {
                     self.runtimes[instance].pending.len()
                 } else {
                     0
                 };
-                let Some(cost) =
-                    self.store_admit(instance, pending_len, StoreOpKind::Persist, sched)
+                let task = self.instances.task_of(InstanceId::from_index(instance));
+                let spec = self.dag.spec(task);
+                let covered_partitions = if spec.is_keyed() {
+                    match self.scoped_ranges(ControlKind::Commit, instance) {
+                        Some(ranges) => ranges.iter().map(|r| r.len() as usize).sum(),
+                        None => spec.key_partitions() as usize,
+                    }
+                } else {
+                    0
+                };
+                let payload = pending_len + Self::counter_event_equiv(covered_partitions);
+                let Some(cost) = self.store_admit(instance, payload, StoreOpKind::Persist, sched)
                 else {
                     return; // shard down: the COMMIT stalls toward rollback
                 };
@@ -1044,10 +1315,25 @@ impl EngineModel {
                     self.ack_control(instance, ControlKind::Init, sched);
                     return;
                 }
-                let stored_pending =
-                    self.store.peek_pending_len(InstanceId::from_index(instance)).unwrap_or(0);
-                let Some(cost) =
-                    self.store_admit(instance, stored_pending, StoreOpKind::Fetch, sched)
+                // A key-range INIT fetches only the hot range blobs; the
+                // round-trip is priced by their stored pending events and
+                // counters rather than the whole instance's.
+                let iid = InstanceId::from_index(instance);
+                let task = self.instances.task_of(iid);
+                let spec = self.dag.spec(task);
+                let (stored_pending, covered_partitions) =
+                    match self.scoped_ranges(ControlKind::Init, instance) {
+                        Some(ranges) => (
+                            self.store.peek_ranges_pending_len(iid, ranges),
+                            ranges.iter().map(|r| r.len() as usize).sum(),
+                        ),
+                        None => (
+                            self.store.peek_pending_len(iid).unwrap_or(0),
+                            if spec.is_keyed() { spec.key_partitions() as usize } else { 0 },
+                        ),
+                    };
+                let payload = stored_pending + Self::counter_event_equiv(covered_partitions);
+                let Some(cost) = self.store_admit(instance, payload, StoreOpKind::Fetch, sched)
                 else {
                     return; // shard down: INIT resends retry after recovery
                 };
@@ -1058,7 +1344,15 @@ impl EngineModel {
     }
 
     fn finish_persist(&mut self, instance: usize, c: ControlEvent, sched: &mut Scheduler<'_, Ev>) {
+        if let Some(ranges) = self.scoped_ranges(ControlKind::Commit, instance).cloned() {
+            self.finish_range_persist(instance, ranges, c, sched);
+            return;
+        }
         let iid = InstanceId::from_index(instance);
+        let task = self.instances.task_of(iid);
+        let spec = self.dag.spec(task);
+        let keyed = spec.is_keyed();
+        let parts = spec.key_partitions() as usize;
         let rt = &mut self.runtimes[instance];
         let processed = rt.prepared.take().unwrap_or(rt.processed);
         let pending = if self.protocol.persist_pending {
@@ -1066,7 +1360,17 @@ impl EngineModel {
         } else {
             Vec::new()
         };
-        self.store.put(iid, StateBlob { processed, pending });
+        let key_counts = if keyed {
+            if rt.key_processed.len() < parts {
+                rt.key_processed.resize(parts, 0);
+            }
+            rt.key_processed.clone()
+        } else {
+            Vec::new()
+        };
+        self.stats.state_bytes_moved +=
+            (std::mem::size_of::<u64>() * (1 + key_counts.len())) as u64;
+        self.store.put(iid, StateBlob { processed, pending, key_counts });
         self.stats.state_persists += 1;
         if self.wave_discipline(ControlKind::Commit).edge_forwarded {
             self.forward_control(instance, c, sched);
@@ -1074,17 +1378,103 @@ impl EngineModel {
         self.ack_control(instance, ControlKind::Commit, sched);
     }
 
-    fn finish_restore(&mut self, instance: usize, c: ControlEvent, sched: &mut Scheduler<'_, Ev>) {
+    /// The COMMIT second half under a key-range scope: splits the captured
+    /// pending list by range, persists one [`StateBlob`] per contiguous hot
+    /// range (addressed by `(instance, range)`), and leaves the cold-range
+    /// counters in place — they never touch the store.
+    fn finish_range_persist(
+        &mut self,
+        instance: usize,
+        ranges: Vec<KeyRange>,
+        c: ControlEvent,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         let iid = InstanceId::from_index(instance);
-        let blob = self.store.get(iid).unwrap_or_default();
+        let task = self.instances.task_of(iid);
+        let spec = self.dag.spec(task);
+        let parts = spec.key_partitions() as usize;
+        let replicas = self.instances.of_task(task);
+        let slot =
+            replicas.iter().position(|&i| i == iid).expect("instance belongs to its task") as u32;
+        let k = replicas.len() as u32;
+
+        let (pending, counts) = {
+            let rt = &mut self.runtimes[instance];
+            let _ = rt.prepared.take();
+            if rt.key_processed.len() < parts {
+                rt.key_processed.resize(parts, 0);
+            }
+            let pending = if self.protocol.persist_pending {
+                std::mem::take(&mut rt.pending)
+            } else {
+                Vec::new()
+            };
+            (pending, rt.key_processed.clone())
+        };
+        // The capture filter only diverts hot-range events, so everything
+        // taken here should land in a bucket; anything else (events queued
+        // before the scope was installed) stays resident as pending.
+        let mut buckets: Vec<Vec<DataEvent>> = vec![Vec::new(); ranges.len()];
+        let mut residual: Vec<DataEvent> = Vec::new();
+        for d in pending {
+            let p = spec.partition_of(key_hash(d.root.0));
+            match ranges.iter().position(|r| r.contains(p)) {
+                Some(idx) => buckets[idx].push(d),
+                None => residual.push(d),
+            }
+        }
+        let mut moved_bytes = 0u64;
+        for (range, bucket) in ranges.iter().zip(buckets) {
+            let key_counts: Vec<u64> =
+                (range.start..range.end).map(|p| counts[p as usize]).collect();
+            let processed = key_counts.iter().sum();
+            let blob = StateBlob { processed, pending: bucket, key_counts };
+            moved_bytes += blob.byte_size();
+            self.stats.state_bytes_moved +=
+                (std::mem::size_of::<u64>() * (1 + blob.key_counts.len())) as u64;
+            self.store.put_range(iid, *range, blob);
+        }
+        if !residual.is_empty() {
+            self.runtimes[instance].pending = residual;
+        }
+        let resident_partitions = (0..parts as u32)
+            .filter(|&p| p % k == slot && !ranges.iter().any(|r| r.contains(p)))
+            .count() as u64;
+        let resident_bytes = std::mem::size_of::<u64>() as u64 * resident_partitions;
+        self.stats.state_bytes_resident += resident_bytes;
+        self.stats.state_persists += 1;
+        self.trace.record(TraceEvent::RangePersist {
+            instance: iid,
+            ranges: ranges.len() as u32,
+            moved_bytes,
+            resident_bytes,
+            at: sched.now(),
+        });
+        if self.wave_discipline(ControlKind::Commit).edge_forwarded {
+            self.forward_control(instance, c, sched);
+        }
+        self.ack_control(instance, ControlKind::Commit, sched);
+    }
+
+    fn finish_restore(&mut self, instance: usize, c: ControlEvent, sched: &mut Scheduler<'_, Ev>) {
+        if c.kind == ControlKind::Init {
+            if let Some(ranges) = self.scoped_ranges(ControlKind::Init, instance).cloned() {
+                self.finish_range_restore(instance, ranges, c, sched);
+                return;
+            }
+        }
+        let iid = InstanceId::from_index(instance);
+        let mut blob = self.store.get(iid).unwrap_or_default();
         self.stats.state_fetches += 1;
         let pending_replayed = blob.pending.len() as u32;
         self.stats.pending_replayed += u64::from(pending_replayed);
         {
             let rt = &mut self.runtimes[instance];
             rt.processed = blob.processed;
+            rt.key_processed = std::mem::take(&mut blob.key_counts);
             rt.initialized = true;
             rt.capture = false;
+            rt.capture_ranges = None;
             // Queue front order after restore: captured pending events
             // first (they were in flight before the migration), then any
             // events buffered while uninitialized, then the rest.
@@ -1111,6 +1501,79 @@ impl EngineModel {
         self.ack_control(instance, c.kind, sched);
     }
 
+    /// The INIT second half under a key-range scope: fetches only the hot
+    /// range blobs and merges them into the per-key counters that survived
+    /// the kill in place. The merged state is the fetched hot counters plus
+    /// the retained cold ones.
+    fn finish_range_restore(
+        &mut self,
+        instance: usize,
+        ranges: Vec<KeyRange>,
+        c: ControlEvent,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
+        let iid = InstanceId::from_index(instance);
+        let task = self.instances.task_of(iid);
+        let parts = self.dag.spec(task).key_partitions() as usize;
+        let mut moved_bytes = 0u64;
+        let mut fetched: Vec<(KeyRange, StateBlob)> = Vec::new();
+        for &range in &ranges {
+            if let Some(blob) = self.store.get_range(iid, range) {
+                moved_bytes += blob.byte_size();
+                fetched.push((range, blob));
+            }
+        }
+        self.stats.state_fetches += 1;
+        let mut hot_pending: Vec<DataEvent> = Vec::new();
+        let pending_replayed;
+        {
+            let rt = &mut self.runtimes[instance];
+            if rt.key_processed.len() < parts {
+                rt.key_processed.resize(parts, 0);
+            }
+            for (range, mut blob) in fetched {
+                for (off, p) in (range.start..range.end).enumerate() {
+                    rt.key_processed[p as usize] = blob.key_counts.get(off).copied().unwrap_or(0);
+                }
+                hot_pending.append(&mut blob.pending);
+            }
+            pending_replayed = hot_pending.len() as u32;
+            rt.processed = rt.key_processed.iter().sum();
+            rt.initialized = true;
+            rt.capture = false;
+            rt.capture_ranges = None;
+            // Queue front order identical to the whole-instance restore:
+            // fetched pending first, then residual pending, then pre-init.
+            let pre_init: Vec<DataEvent> = rt.pre_init.drain(..).collect();
+            for d in pre_init.into_iter().rev() {
+                rt.queue.push_front(QueueItem::Data(d));
+            }
+            let residual: Vec<DataEvent> = rt.pending.drain(..).collect();
+            for d in residual.into_iter().rev() {
+                rt.queue.push_front(QueueItem::Data(d));
+            }
+            for d in hot_pending.into_iter().rev() {
+                rt.queue.push_front(QueueItem::Data(d));
+            }
+        }
+        self.stats.pending_replayed += u64::from(pending_replayed);
+        self.trace.record(TraceEvent::RangeRestore {
+            instance: iid,
+            ranges: ranges.len() as u32,
+            moved_bytes,
+            at: sched.now(),
+        });
+        self.trace.record(TraceEvent::InstanceRestored {
+            instance: iid,
+            at: sched.now(),
+            pending_replayed,
+        });
+        if self.wave_discipline(ControlKind::Init).edge_forwarded {
+            self.forward_control(instance, c, sched);
+        }
+        self.ack_control(instance, ControlKind::Init, sched);
+    }
+
     fn forward_control(&mut self, instance: usize, c: ControlEvent, sched: &mut Scheduler<'_, Ev>) {
         if !self.runtimes[instance].forwarded.insert((c.kind, c.wave)) {
             return;
@@ -1134,12 +1597,13 @@ impl EngineModel {
 
     fn ack_control(&mut self, instance: usize, kind: ControlKind, sched: &mut Scheduler<'_, Ev>) {
         let iid = InstanceId::from_index(instance);
+        let target = self.wave_target_count(kind);
         let (newly_acked, start_completion) = {
             let Some(tracker) = self.trackers.get_mut(&kind) else {
                 return;
             };
             let newly_acked = tracker.acked.insert(iid);
-            let complete = tracker.acked.len() >= self.participants.len();
+            let complete = tracker.acked.len() >= target;
             let start = complete && !tracker.completed;
             if start {
                 tracker.completed = true;
@@ -1164,7 +1628,12 @@ impl EngineModel {
     fn start_rebalance(&mut self, sched: &mut Scheduler<'_, Ev>) {
         self.trace
             .record(TraceEvent::PhaseStarted { phase: MigrationPhase::Rebalance, at: sched.now() });
-        let migrating = self.migrating.clone();
+        // Under a key-range scope only the scoped members (hot-range owners
+        // plus unkeyed migrating instances) are redeployed: cold keyed
+        // instances keep running through the rebalance. The assignment flip
+        // (`on_target`) still covers every migrating instance — only the
+        // kill/respawn/state-move cost is scoped.
+        let migrating = self.rebalance_scope.clone().unwrap_or_else(|| self.migrating.clone());
         for iid in migrating {
             let lost = self.runtimes[iid.index()].kill();
             self.stats.events_dropped += lost.len() as u64;
@@ -1188,7 +1657,9 @@ impl EngineModel {
         self.rebalance_done_at = Some(sched.now());
         self.trace
             .record(TraceEvent::PhaseEnded { phase: MigrationPhase::Rebalance, at: sched.now() });
-        let migrating = self.migrating.clone();
+        // Respawn exactly the set that was killed: marking a still-running
+        // cold instance Starting would wrongly drop its deliveries.
+        let migrating = self.rebalance_scope.clone().unwrap_or_else(|| self.migrating.clone());
         for iid in migrating {
             self.runtimes[iid.index()].status = WorkerStatus::Starting;
             let delay = self.config.worker_ready_delay(&mut self.rng);
@@ -1452,6 +1923,12 @@ impl Engine {
     /// Processed-event count of `instance`'s user state.
     pub fn processed_count(&self, instance: InstanceId) -> u64 {
         self.model.runtimes[instance.index()].processed
+    }
+
+    /// Per-key-partition processed counters of `instance`'s user state
+    /// (empty for unkeyed tasks, or before the first keyed event).
+    pub fn key_processed(&self, instance: InstanceId) -> &[u64] {
+        &self.model.runtimes[instance.index()].key_processed
     }
 
     /// Whether `instance`'s user state is initialized.
@@ -1771,5 +2248,100 @@ mod tests {
         let count = e.processed_count(inst);
         // ~8 ev/s for 30 s, minus pipeline fill, with generator jitter.
         assert!((215..=250).contains(&count), "count={count}");
+    }
+
+    #[test]
+    fn effective_fan_out_prefers_explicit_then_derives_from_scoped_count() {
+        let mut e = engine_for(library::linear(), ProtocolConfig::ccr(), 1);
+        // An explicit per-wave fan-out wins outright.
+        assert_eq!(e.model.effective_fan_out(4, 96), 4);
+        // Zero defers to the store topology, derived from the *effective*
+        // participant count handed in: a scoped wave's smaller membership
+        // yields a smaller per-shard window (default store: 8 shards).
+        assert_eq!(e.model.effective_fan_out(0, 96), 12);
+        assert_eq!(e.model.effective_fan_out(0, 16), 2, "scoped count shrinks the window");
+        // The engine-level knob sits between the two.
+        e.model.config.wave_fan_out = 5;
+        assert_eq!(e.model.effective_fan_out(0, 96), 5);
+        assert_eq!(e.model.effective_fan_out(4, 96), 4, "explicit still wins over the knob");
+    }
+
+    fn keyed_pair_dag(partitions: u32, exponent: u32) -> Dataflow {
+        let mut b = flowmig_topology::DataflowBuilder::new("keyed-pair");
+        let s = b.add(flowmig_topology::TaskSpec::source("s", 8.0));
+        let op = b.add(
+            flowmig_topology::TaskSpec::operator("op")
+                .with_parallelism(2)
+                .with_zipf_keys(partitions, exponent),
+        );
+        let sink = b.add(flowmig_topology::TaskSpec::sink("sink"));
+        b.chain(&[s, op, sink]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn keyed_routing_is_sticky_and_counts_accumulate_per_partition() {
+        let dag = keyed_pair_dag(8, 1);
+        let op = dag.task_by_name("op").unwrap();
+        let instances = InstanceSet::plan(&dag);
+        let replicas = instances.of_task(op).to_vec();
+        assert_eq!(replicas.len(), 2);
+        let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).unwrap();
+        let mut e = Engine::new(
+            dag,
+            instances,
+            &plan,
+            EngineConfig::default(),
+            ProtocolConfig::dcr(),
+            Box::new(NoopCoordinator),
+            6,
+        );
+        e.run_until(SimTime::from_secs(30));
+        let mut total = 0u64;
+        for &iid in &replicas {
+            let counts = e.key_processed(iid);
+            assert!(!counts.is_empty(), "keyed task records per-partition counters");
+            let sum: u64 = counts.iter().sum();
+            assert_eq!(sum, e.processed_count(iid), "per-key counters cover every event");
+            total += sum;
+        }
+        assert!(total > 200, "keyed operator kept processing the stream: {total}");
+        // Keyed shuffle is sticky: partition p always routes to replica
+        // p % 2, so the two replicas' partition sets are disjoint.
+        let c0 = e.key_processed(replicas[0]).to_vec();
+        let c1 = e.key_processed(replicas[1]).to_vec();
+        for p in 0..8usize {
+            let a = c0.get(p).copied().unwrap_or(0);
+            let b = c1.get(p).copied().unwrap_or(0);
+            assert!(a == 0 || b == 0, "partition {p} routed to both replicas");
+            assert!(a > 0 || b > 0, "partition {p} never routed (zipf covers all 8)");
+        }
+        // Zipf(1) skew: partition 0 dominates.
+        let p0 = c0.first().copied().unwrap_or(0) + c1.first().copied().unwrap_or(0);
+        assert!(p0 * 3 > total, "zipf exponent 1 concentrates ~37% of keys on partition 0");
+    }
+
+    #[test]
+    fn unkeyed_runs_never_touch_key_counters() {
+        // Pin-safety probe: on an unkeyed dag the keyed paths must stay
+        // cold — no per-key counters, no range blobs in the store.
+        let dag = library::linear();
+        let instances = InstanceSet::plan(&dag);
+        let all: Vec<InstanceId> = instances.user_instances(&dag).collect();
+        let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).unwrap();
+        let mut e = Engine::new(
+            dag,
+            instances,
+            &plan,
+            EngineConfig::default(),
+            ProtocolConfig::dcr(),
+            Box::new(NoopCoordinator),
+            6,
+        );
+        e.run_until(SimTime::from_secs(30));
+        for iid in all {
+            assert!(e.key_processed(iid).is_empty());
+        }
+        assert_eq!(e.store().range_len(), 0);
     }
 }

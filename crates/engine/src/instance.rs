@@ -53,6 +53,15 @@ pub(crate) struct InstanceRuntime {
     /// The user state: processed-event count (the paper's dummy stateful
     /// logic; enough to verify continuity across migration).
     pub processed: u64,
+    /// Per-key-partition processed counters (empty for unkeyed tasks).
+    /// Retained across [`kill`](Self::kill): state not migrated through the
+    /// store survives in place, so a key-range restore only has to merge the
+    /// hot ranges it fetched.
+    pub key_processed: Vec<u64>,
+    /// CCR key-range capture filter: when set, only events whose key falls
+    /// in one of these ranges are diverted to `pending`; others process
+    /// normally. `None` means capture everything (whole-instance CCR).
+    pub capture_ranges: Option<Vec<flowmig_topology::KeyRange>>,
     /// Alignment bookkeeping: senders seen for the current wave, per kind.
     pub seen: AlignmentState,
     /// Waves already forwarded downstream, per kind (dedup for resends).
@@ -73,6 +82,8 @@ impl InstanceRuntime {
             prepared: None,
             pre_init: VecDeque::new(),
             processed: 0,
+            key_processed: Vec::new(),
+            capture_ranges: None,
             seen: AlignmentState::default(),
             forwarded: HashSet::new(),
             rr: vec![0; out_degree],
@@ -101,6 +112,7 @@ impl InstanceRuntime {
         self.current = None;
         self.initialized = false;
         self.capture = false;
+        self.capture_ranges = None;
         self.pending.clear();
         self.prepared = None;
         self.seen = AlignmentState::default();

@@ -54,7 +54,8 @@ pub use engine::{Engine, EngineCtl};
 pub use event::{ControlEvent, ControlSender, DataEvent, QueueItem};
 pub use instance::WorkerStatus;
 pub use protocol::{
-    resend, MigrationCoordinator, NoopCoordinator, ProtocolConfig, WaveDiscipline, WaveRouting,
+    resend, InstanceScope, KeyRangeScope, MigrationCoordinator, NoopCoordinator, ProtocolConfig,
+    WaveDiscipline, WaveRouting, WaveScope,
 };
 pub use stats::EngineStats;
 pub use store::{AdmitOutcome, ShardStats, ShardedStateStore, StateBlob, StateStore, StoreOpKind};

@@ -43,6 +43,102 @@ pub enum WaveRouting {
     },
 }
 
+/// Which slice of the dataflow a control wave touches.
+///
+/// The scope is orthogonal to the routing: routing says *how* a wave
+/// travels, scope says *who* must act on and ack it. The default
+/// ([`AllParticipants`](WaveScope::AllParticipants)) reproduces the
+/// whole-instance protocols byte-for-byte; the narrower scopes are what
+/// key-range migration (CCR-KR) uses to touch only the state that actually
+/// moves.
+///
+/// Scopes are symbolic selectors, resolved by the engine against the run's
+/// scale plan and key spaces when the wave starts — a plan stays static
+/// strategy data and never embeds concrete instance ids.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WaveScope {
+    /// Every non-source participant (operators + sinks) — the pre-scope
+    /// behaviour of all whole-instance strategies.
+    #[default]
+    AllParticipants,
+    /// Only a selected subset of instances.
+    Instances(InstanceScope),
+    /// Only selected key ranges of the migrating instances: instances that
+    /// own none of the ranges are skipped entirely, and the ones in scope
+    /// capture, persist, and restore just the scoped ranges' state.
+    KeyRanges(KeyRangeScope),
+}
+
+impl WaveScope {
+    /// Whether the scope narrows the wave below the full participant set.
+    pub fn is_scoped(self) -> bool {
+        self != WaveScope::AllParticipants
+    }
+
+    /// Whether this scope selects at key-range granularity.
+    pub fn is_key_range(self) -> bool {
+        matches!(self, WaveScope::KeyRanges(_))
+    }
+
+    /// Whether an INIT with scope `self` restores everything a COMMIT with
+    /// scope `commit` persisted. Scopes address different store entries —
+    /// a whole-instance restore cannot read range-addressed blobs and vice
+    /// versa — so coverage requires matching granularity:
+    ///
+    /// * an unscoped or migrating-instances INIT covers any instance-level
+    ///   COMMIT (the store key is the instance either way);
+    /// * a key-range COMMIT is covered only by a key-range INIT whose hot
+    ///   target is at least as wide.
+    pub fn covers_commit(self, commit: WaveScope) -> bool {
+        match commit {
+            WaveScope::AllParticipants => true,
+            WaveScope::Instances(_) => {
+                matches!(self, WaveScope::AllParticipants | WaveScope::Instances(_))
+            }
+            WaveScope::KeyRanges(c) => match self {
+                WaveScope::KeyRanges(i) => i.hot_weight_permille >= c.hot_weight_permille,
+                _ => false,
+            },
+        }
+    }
+}
+
+/// Instance-level wave scope selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstanceScope {
+    /// The instances the scale plan migrates (killed + respawned by the
+    /// rebalance). Sinks and non-moving operators skip the wave.
+    Migrating,
+}
+
+/// Key-range wave scope selector: the hottest ranges of each migrating
+/// task's key space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeyRangeScope {
+    /// Cumulative weight target, in permille: the hot set is the smallest
+    /// group of partitions (picked by descending weight) whose combined
+    /// rate/state weight reaches `hot_weight_permille / 1000` — see
+    /// [`TaskSpec::hot_ranges`](flowmig_topology::TaskSpec::hot_ranges).
+    /// `1000` degenerates to whole-key-space (≈ whole-instance) migration.
+    pub hot_weight_permille: u16,
+}
+
+impl KeyRangeScope {
+    /// The default hot target: ranges carrying ≥ 60 % of the traffic move.
+    pub const DEFAULT_HOT_PERMILLE: u16 = 600;
+
+    /// Scope covering the hottest ranges up to `permille / 1000` weight.
+    pub fn hot(permille: u16) -> Self {
+        KeyRangeScope { hot_weight_permille: permille.min(1000) }
+    }
+}
+
+impl Default for KeyRangeScope {
+    fn default() -> Self {
+        KeyRangeScope::hot(Self::DEFAULT_HOT_PERMILLE)
+    }
+}
+
 /// The mechanical behaviours the engine derives from a wave's routing —
 /// the interpreted descriptor that drives wave setup, alignment,
 /// forwarding, and window pacing. Adding a routing means describing it
@@ -249,5 +345,40 @@ mod tests {
     fn resend_constants_match_paper() {
         assert_eq!(resend::FAST.as_secs_f64(), 1.0);
         assert_eq!(resend::ACK_TIMEOUT.as_secs_f64(), 30.0);
+    }
+
+    #[test]
+    fn default_scope_is_all_participants() {
+        assert_eq!(WaveScope::default(), WaveScope::AllParticipants);
+        assert!(!WaveScope::AllParticipants.is_scoped());
+        assert!(WaveScope::Instances(InstanceScope::Migrating).is_scoped());
+        assert!(WaveScope::KeyRanges(KeyRangeScope::default()).is_key_range());
+    }
+
+    #[test]
+    fn scope_coverage_requires_matching_granularity() {
+        let all = WaveScope::AllParticipants;
+        let migrating = WaveScope::Instances(InstanceScope::Migrating);
+        let hot600 = WaveScope::KeyRanges(KeyRangeScope::hot(600));
+        let hot400 = WaveScope::KeyRanges(KeyRangeScope::hot(400));
+
+        // Instance-level commits: any instance-level init covers them.
+        assert!(all.covers_commit(all));
+        assert!(all.covers_commit(migrating));
+        assert!(migrating.covers_commit(migrating));
+        assert!(migrating.covers_commit(all));
+
+        // Key-range commits need a key-range init at least as wide.
+        assert!(hot600.covers_commit(hot600));
+        assert!(hot600.covers_commit(hot400));
+        assert!(!hot400.covers_commit(hot600), "narrower init leaves ranges stranded");
+        assert!(!all.covers_commit(hot600), "whole-instance fetch cannot read range blobs");
+        assert!(!hot600.covers_commit(migrating), "range fetch cannot read instance blobs");
+    }
+
+    #[test]
+    fn key_range_scope_clamps_permille() {
+        assert_eq!(KeyRangeScope::hot(1500).hot_weight_permille, 1000);
+        assert_eq!(KeyRangeScope::default().hot_weight_permille, 600);
     }
 }

@@ -40,11 +40,12 @@
 use crate::config::{StoreReplication, StoreServiceModel};
 use crate::event::DataEvent;
 use flowmig_sim::{SimDuration, SimTime};
-use flowmig_topology::InstanceId;
+use flowmig_topology::{InstanceId, KeyRange};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// A checkpointed snapshot of one task instance.
+/// A checkpointed snapshot of one task instance — or, for a key-range
+/// migration, of one contiguous slice of its key space.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StateBlob {
     /// The user state: for the paper's dummy tasks, a running count of
@@ -52,12 +53,18 @@ pub struct StateBlob {
     pub processed: u64,
     /// Captured in-flight events (CCR only; empty for DCR/DSM).
     pub pending: Vec<DataEvent>,
+    /// Per-key-partition processed counters, in partition order for the
+    /// partitions this blob covers. Empty for unkeyed tasks and whole-
+    /// instance checkpoints of unkeyed state — in which case the byte size
+    /// is unchanged from the pre-keyed format.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub key_counts: Vec<u64>,
 }
 
 impl StateBlob {
     /// A snapshot with no pending events.
     pub fn of_count(processed: u64) -> Self {
-        StateBlob { processed, pending: Vec::new() }
+        StateBlob { processed, pending: Vec::new(), key_counts: Vec::new() }
     }
 
     /// Number of captured pending events (drives persist/fetch latency).
@@ -65,11 +72,13 @@ impl StateBlob {
         self.pending.len()
     }
 
-    /// Serialized size estimate in bytes: the user-state counter plus the
-    /// captured pending events (what a Redis `SET` of this blob would carry).
+    /// Serialized size estimate in bytes: the user-state counter, one
+    /// counter per covered key partition, plus the captured pending events
+    /// (what a Redis `SET` of this blob would carry).
     pub fn byte_size(&self) -> u64 {
+        let counter = std::mem::size_of::<u64>() as u64;
         let event = std::mem::size_of::<DataEvent>() as u64;
-        std::mem::size_of::<u64>() as u64 + event * self.pending.len() as u64
+        counter + counter * self.key_counts.len() as u64 + event * self.pending.len() as u64
     }
 }
 
@@ -78,6 +87,10 @@ impl StateBlob {
 #[derive(Debug, Clone, Default)]
 struct StoreShard {
     blobs: HashMap<InstanceId, StateBlob>,
+    /// Key-range-addressed blobs: one slice of an instance's key space per
+    /// entry. Separate namespace from whole-instance blobs — a range
+    /// persist never shadows a whole-instance checkpoint.
+    range_blobs: HashMap<(InstanceId, KeyRange), StateBlob>,
     puts: u64,
     gets: u64,
     misses: u64,
@@ -277,7 +290,7 @@ impl ShardedStateStore {
             misses: s.misses,
             bytes_written: s.bytes_written,
             bytes_read: s.bytes_read,
-            blobs: s.blobs.len(),
+            blobs: s.blobs.len() + s.range_blobs.len(),
             max_queue_depth: s.max_queue_depth,
             queued_ops: s.queued_ops,
             queued_wait: s.queued_wait,
@@ -506,14 +519,63 @@ impl ShardedStateStore {
         self.shards[self.shard_of(instance)].blobs.get(&instance).map(|b| b.pending.len())
     }
 
-    /// Number of committed blobs across all shards.
+    /// Persists (overwrites) the blob for one key range of `instance`.
+    /// Range blobs live in their own namespace: a range persist never
+    /// shadows a whole-instance checkpoint of the same instance.
+    pub fn put_range(&mut self, instance: InstanceId, range: KeyRange, blob: StateBlob) {
+        let shard = self.shard_of(instance);
+        let s = &mut self.shards[shard];
+        s.puts += 1;
+        s.bytes_written += blob.byte_size();
+        s.range_blobs.insert((instance, range), blob);
+    }
+
+    /// Fetches the last committed blob for `(instance, range)`, if any.
+    pub fn get_range(&mut self, instance: InstanceId, range: KeyRange) -> Option<StateBlob> {
+        let shard = self.shard_of(instance);
+        let s = &mut self.shards[shard];
+        s.gets += 1;
+        let blob = s.range_blobs.get(&(instance, range)).cloned();
+        match &blob {
+            Some(b) => s.bytes_read += b.byte_size(),
+            None => s.misses += 1,
+        }
+        blob
+    }
+
+    /// Whether a range blob exists for `(instance, range)` (no latency
+    /// charged — used by tests and invariant checks, not the data path).
+    pub fn contains_range(&self, instance: InstanceId, range: KeyRange) -> bool {
+        self.shards[self.shard_of(instance)].range_blobs.contains_key(&(instance, range))
+    }
+
+    /// Total pending events stored across the given ranges of `instance`,
+    /// without counting as fetches — the engine uses this to price a
+    /// key-range restore before performing it. Absent ranges contribute 0.
+    pub fn peek_ranges_pending_len(&self, instance: InstanceId, ranges: &[KeyRange]) -> usize {
+        let s = &self.shards[self.shard_of(instance)];
+        ranges
+            .iter()
+            .filter_map(|&r| s.range_blobs.get(&(instance, r)))
+            .map(|b| b.pending.len())
+            .sum()
+    }
+
+    /// Number of committed range blobs across all shards.
+    pub fn range_len(&self) -> usize {
+        self.shards.iter().map(|s| s.range_blobs.len()).sum()
+    }
+
+    /// Number of committed whole-instance blobs across all shards (range
+    /// blobs are counted separately by [`Self::range_len`]).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.blobs.len()).sum()
     }
 
-    /// Returns true if nothing has been committed.
+    /// Returns true if nothing has been committed (neither whole-instance
+    /// nor range blobs).
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.blobs.is_empty())
+        self.shards.iter().all(|s| s.blobs.is_empty() && s.range_blobs.is_empty())
     }
 
     /// Total persist operations performed, across all shards.
@@ -635,6 +697,22 @@ impl StateStore {
         self.inner.peek_pending_len(instance)
     }
 
+    /// Persists (overwrites) the blob for one key range of `instance`.
+    pub fn put_range(&mut self, instance: InstanceId, range: KeyRange, blob: StateBlob) {
+        self.inner.put_range(instance, range, blob);
+    }
+
+    /// Fetches the last committed blob for `(instance, range)`, if any.
+    pub fn get_range(&mut self, instance: InstanceId, range: KeyRange) -> Option<StateBlob> {
+        self.inner.get_range(instance, range)
+    }
+
+    /// Total pending events stored across the given ranges of `instance`,
+    /// without counting as fetches. Absent ranges contribute 0.
+    pub fn peek_ranges_pending_len(&self, instance: InstanceId, ranges: &[KeyRange]) -> usize {
+        self.inner.peek_ranges_pending_len(instance, ranges)
+    }
+
     /// Number of committed blobs.
     pub fn len(&self) -> usize {
         self.inner.len()
@@ -674,6 +752,7 @@ mod tests {
                 generated_at: SimTime::from_secs(1),
                 replayed: false,
             }],
+            key_counts: Vec::new(),
         };
         store.put(i, blob.clone());
         assert_eq!(store.get(i), Some(blob));
@@ -742,6 +821,7 @@ mod tests {
                 };
                 5
             ],
+            key_counts: Vec::new(),
         };
         let expected = blob.byte_size();
         assert!(expected > 8, "pending events contribute bytes");

@@ -58,6 +58,17 @@ pub struct MigrationMetrics {
     /// Total time store shards spent with replicas down. `None` when no
     /// shard outage was injected.
     pub shard_downtime: Option<SimDuration>,
+    /// Bytes of state moved through the store by key-range persists and
+    /// restores (0 for whole-instance strategies, which never record
+    /// range events).
+    pub moved_bytes: u64,
+    /// Bytes of cold key-range state left in place by key-range persists
+    /// — what a whole-instance migration would additionally have moved
+    /// (0 for whole-instance strategies).
+    pub resident_bytes: u64,
+    /// Contiguous key ranges persisted by key-range COMMITs (0 for
+    /// whole-instance strategies).
+    pub ranges_moved: u64,
 }
 
 impl MigrationMetrics {
@@ -116,6 +127,9 @@ impl MigrationMetrics {
             degraded_persists: log.degraded_persists(),
             store_failures: log.store_failed_ops(),
             shard_downtime,
+            moved_bytes: log.range_moved_bytes(),
+            resident_bytes: log.range_resident_bytes(),
+            ranges_moved: log.ranges_moved(),
         }
     }
 
@@ -166,6 +180,13 @@ impl fmt::Display for MigrationMetrics {
                 " store_failures={} shard_downtime={}",
                 self.store_failures,
                 fmt_opt(self.shard_downtime),
+            )?;
+        }
+        if self.ranges_moved > 0 {
+            write!(
+                f,
+                " ranges_moved={} moved_bytes={} resident_bytes={}",
+                self.ranges_moved, self.moved_bytes, self.resident_bytes,
             )?;
         }
         Ok(())
@@ -333,6 +354,49 @@ mod tests {
         );
         assert_eq!(m.store_wait, Some(SimDuration::from_millis(10)));
         assert_eq!(log.store_queued_ops(), 2);
+    }
+
+    #[test]
+    fn range_ledger_surfaces_in_metrics_and_display_only_when_scoped() {
+        use flowmig_topology::InstanceId;
+        let mut log = TraceLog::new();
+        log.record(TraceEvent::MigrationRequested { at: t(10) });
+        let whole = MigrationMetrics::from_trace(
+            &log,
+            &StabilityCriteria::paper(8.0),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!((whole.moved_bytes, whole.resident_bytes, whole.ranges_moved), (0, 0, 0));
+        assert!(
+            !whole.to_string().contains("moved_bytes"),
+            "whole-instance summaries stay byte-identical"
+        );
+
+        log.record(TraceEvent::RangePersist {
+            instance: InstanceId::from_index(4),
+            ranges: 2,
+            moved_bytes: 96,
+            resident_bytes: 16,
+            at: t(12),
+        });
+        log.record(TraceEvent::RangeRestore {
+            instance: InstanceId::from_index(4),
+            ranges: 2,
+            moved_bytes: 96,
+            at: t(20),
+        });
+        let scoped = MigrationMetrics::from_trace(
+            &log,
+            &StabilityCriteria::paper(8.0),
+            SimDuration::from_secs(10),
+        );
+        assert_eq!(scoped.moved_bytes, 192, "persist + restore both ride the store");
+        assert_eq!(scoped.resident_bytes, 16);
+        assert_eq!(scoped.ranges_moved, 2);
+        let s = scoped.to_string();
+        assert!(s.contains("ranges_moved=2"));
+        assert!(s.contains("moved_bytes=192"));
+        assert!(s.contains("resident_bytes=16"));
     }
 
     #[test]

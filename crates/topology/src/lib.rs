@@ -40,4 +40,4 @@ mod task;
 pub use builder::DataflowBuilder;
 pub use graph::{Dataflow, ValidateDataflowError};
 pub use rates::{InstanceId, InstanceSet, RatePlan, EVENTS_PER_INSTANCE_HZ};
-pub use task::{TaskId, TaskKind, TaskSpec};
+pub use task::{KeyRange, TaskId, TaskKind, TaskSpec};

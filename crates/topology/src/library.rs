@@ -185,6 +185,43 @@ fn grid_inner(name: String, width: Option<usize>) -> Dataflow {
     b.finish().expect("grid dataflow is valid by construction")
 }
 
+/// Rebuilds `dag` with a Zipf-skewed key space on every operator task:
+/// `partitions` key partitions where partition `i` carries weight
+/// `1 / (i + 1)^exponent` (see [`TaskSpec::with_zipf_keys`]). Sources and
+/// sinks are untouched — only operator state is keyed and migratable.
+///
+/// This is the skew knob behind the key-range migration experiments: a
+/// handful of hot partitions dominate the traffic and state, so a
+/// range-scoped migration moves a small fraction of the bytes a
+/// whole-instance migration would.
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero.
+pub fn zipf_keyed(dag: &Dataflow, partitions: u32, exponent: u32) -> Dataflow {
+    use crate::task::TaskKind;
+    let mut out = dag.clone();
+    let operators: Vec<TaskId> =
+        dag.user_tasks().filter(|&t| dag.spec(t).kind() == TaskKind::Operator).collect();
+    for t in operators {
+        let spec = out.spec(t).clone().with_zipf_keys(partitions, exponent);
+        out = out.with_spec(t, spec);
+    }
+    out
+}
+
+/// The wave-latency grid ([`grid_scaled`]) with a Zipf-skewed key space on
+/// every operator — the skew workload for the key-range migration bench.
+/// `16 × width` wave participants; partition 0 of each operator carries the
+/// bulk of the traffic under exponent ≥ 2.
+///
+/// # Panics
+///
+/// Panics if `width` or `partitions` is zero.
+pub fn grid_zipf(width: usize, partitions: u32, exponent: u32) -> Dataflow {
+    zipf_keyed(&grid_scaled(width), partitions, exponent)
+}
+
 /// All five paper dataflows in presentation order
 /// (Linear, Diamond, Star, Grid, Traffic — the order of Figs. 5–8).
 pub fn paper_dataflows() -> Vec<Dataflow> {
@@ -368,6 +405,34 @@ mod tests {
         let sizes: std::collections::HashSet<usize> =
             (0..20).map(|s| random_layered(s, 5, 4).len()).collect();
         assert!(sizes.len() > 3, "different seeds give different shapes");
+    }
+
+    #[test]
+    fn zipf_keyed_skews_operators_only() {
+        let dag = zipf_keyed(&grid(), 8, 2);
+        assert_eq!(dag.name(), "grid", "wiring and name unchanged");
+        for t in dag.task_ids() {
+            let spec = dag.spec(t);
+            match spec.kind() {
+                crate::task::TaskKind::Operator => {
+                    assert_eq!(spec.key_partitions(), 8, "{}", spec.name());
+                    assert!(spec.key_weight(0) > spec.key_weight(7), "{}", spec.name());
+                }
+                _ => assert_eq!(spec.key_partitions(), 1, "{}", spec.name()),
+            }
+        }
+        // Instance planning is rate-driven and unaffected by key spaces.
+        assert_eq!(InstanceSet::plan(&dag).user_instance_count(&dag), 21);
+    }
+
+    #[test]
+    fn grid_zipf_keeps_scaled_width() {
+        let dag = grid_zipf(6, 8, 2);
+        assert_eq!(dag.name(), "gridx6");
+        let inst = InstanceSet::plan(&dag);
+        assert_eq!(inst.user_instance_count(&dag), 15 * 6);
+        let m1 = dag.task_by_name("m1").unwrap();
+        assert!(dag.spec(m1).is_keyed());
     }
 
     #[test]

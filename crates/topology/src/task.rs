@@ -32,6 +32,58 @@ impl fmt::Display for TaskId {
     }
 }
 
+/// A half-open range `[start, end)` of key partitions within a task's key
+/// space.
+///
+/// Key-range migration (Elasticutor-style) moves state at this granularity
+/// instead of whole executors: a range is the unit the state store
+/// addresses, prices, and routes through a rebalance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct KeyRange {
+    /// First partition in the range.
+    pub start: u32,
+    /// One past the last partition in the range.
+    pub end: u32,
+}
+
+impl KeyRange {
+    /// Builds a range covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (`start >= end`).
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start < end, "key range [{start}, {end}) is empty");
+        KeyRange { start, end }
+    }
+
+    /// The range covering a task's entire key space.
+    pub fn whole(partitions: u32) -> Self {
+        KeyRange::new(0, partitions.max(1))
+    }
+
+    /// Number of partitions in the range.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the range is empty (never true for a constructed range).
+    pub fn is_empty(self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Whether partition `p` falls inside the range.
+    pub fn contains(self, p: u32) -> bool {
+        self.start <= p && p < self.end
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k[{},{})", self.start, self.end)
+    }
+}
+
 /// The role a task plays in the dataflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TaskKind {
@@ -66,6 +118,10 @@ pub struct TaskSpec {
     stateful: bool,
     emit_rate_hz: f64,
     parallelism: Option<usize>,
+    /// Number of key partitions in the task's key space (1 = unkeyed).
+    key_partitions: u32,
+    /// Per-partition rate/state-size weights; empty means uniform.
+    key_weights: Vec<f64>,
 }
 
 impl TaskSpec {
@@ -79,6 +135,8 @@ impl TaskSpec {
             stateful: false,
             emit_rate_hz: rate_hz,
             parallelism: None,
+            key_partitions: 1,
+            key_weights: Vec::new(),
         }
     }
 
@@ -93,6 +151,8 @@ impl TaskSpec {
             stateful: true,
             emit_rate_hz: 0.0,
             parallelism: None,
+            key_partitions: 1,
+            key_weights: Vec::new(),
         }
     }
 
@@ -106,6 +166,8 @@ impl TaskSpec {
             stateful: false,
             emit_rate_hz: 0.0,
             parallelism: None,
+            key_partitions: 1,
+            key_weights: Vec::new(),
         }
     }
 
@@ -149,6 +211,62 @@ impl TaskSpec {
         assert!(instances > 0, "a task needs at least one instance");
         self.parallelism = Some(instances);
         self
+    }
+
+    /// Sets the number of key partitions in the task's key space, with
+    /// uniform per-partition weights. Partition 1 (the default) models an
+    /// unkeyed task whose state moves as one unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn with_key_partitions(mut self, partitions: u32) -> Self {
+        assert!(partitions > 0, "a key space needs at least one partition");
+        self.key_partitions = partitions;
+        self.key_weights = Vec::new();
+        self
+    }
+
+    /// Sets explicit per-partition rate/state-size weights; the key space
+    /// size becomes `weights.len()`. Weights are relative (normalized on
+    /// use), so `[3.0, 1.0]` means partition 0 carries 75 % of the traffic
+    /// and state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, or any weight is negative or not
+    /// finite, or all weights are zero.
+    pub fn with_key_weights(mut self, weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "a key space needs at least one partition");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "key weights must be finite and >= 0"
+        );
+        assert!(weights.iter().sum::<f64>() > 0.0, "key weights must not all be zero");
+        self.key_partitions = weights.len() as u32;
+        self.key_weights = weights;
+        self
+    }
+
+    /// Sets a Zipf-skewed key space: `partitions` partitions where
+    /// partition `i` has weight `1 / (i + 1)^exponent`. Exponent 0 is
+    /// uniform; exponent 1 is the classic harmonic skew; higher exponents
+    /// concentrate traffic further. Integer exponents keep the weights
+    /// free of `powf`, so skewed traces hash identically across libm
+    /// implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn with_zipf_keys(self, partitions: u32, exponent: u32) -> Self {
+        assert!(partitions > 0, "a key space needs at least one partition");
+        let weights = (0..partitions)
+            .map(|i| {
+                let rank = u64::from(i) + 1;
+                1.0 / rank.pow(exponent) as f64
+            })
+            .collect();
+        self.with_key_weights(weights)
     }
 
     /// Task name (unique within a dataflow).
@@ -196,6 +314,96 @@ impl TaskSpec {
         } else {
             1.0 / s
         }
+    }
+
+    /// Number of key partitions in the task's key space (1 = unkeyed).
+    pub fn key_partitions(&self) -> u32 {
+        self.key_partitions
+    }
+
+    /// Whether the task carries a keyed (multi-partition) key space.
+    pub fn is_keyed(&self) -> bool {
+        self.key_partitions > 1
+    }
+
+    /// Normalized weight of partition `p` (the fraction of traffic and
+    /// state it carries). Uniform `1 / partitions` when no explicit
+    /// weights were set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside the key space.
+    pub fn key_weight(&self, p: u32) -> f64 {
+        assert!(p < self.key_partitions, "partition {p} outside key space");
+        if self.key_weights.is_empty() {
+            return 1.0 / f64::from(self.key_partitions);
+        }
+        let total: f64 = self.key_weights.iter().sum();
+        self.key_weights[p as usize] / total
+    }
+
+    /// Maps a uniformly-distributed 64-bit hash onto a key partition,
+    /// respecting the per-partition weights: a partition with weight `w`
+    /// receives a `w` fraction of the hash space. Cumulative sums are
+    /// walked in partition order, so the mapping is deterministic.
+    pub fn partition_of(&self, hash: u64) -> u32 {
+        if self.key_partitions <= 1 {
+            return 0;
+        }
+        // 53 high-entropy bits → [0, 1): exact in f64.
+        let u = (hash >> 11) as f64 / (1u64 << 53) as f64;
+        let mut acc = 0.0;
+        for p in 0..self.key_partitions {
+            acc += self.key_weight(p);
+            if u < acc {
+                return p;
+            }
+        }
+        self.key_partitions - 1 // rounding tail
+    }
+
+    /// The hottest partitions of the key space: the smallest set, chosen
+    /// greedily by descending weight (ties by ascending index), whose
+    /// cumulative weight reaches `permille / 1000` — compressed into
+    /// maximal contiguous [`KeyRange`]s. With Zipf weights the hot set is
+    /// a prefix, so this is typically a single range. Always returns at
+    /// least one partition; `permille >= 1000` returns the whole space.
+    pub fn hot_ranges(&self, permille: u16) -> Vec<KeyRange> {
+        let n = self.key_partitions;
+        let mut order: Vec<u32> = (0..n).collect();
+        // Stable sort by descending weight; equal weights keep index order.
+        order.sort_by(|&a, &b| {
+            self.key_weight(b).partial_cmp(&self.key_weight(a)).expect("finite weights")
+        });
+        let target = f64::from(permille) / 1000.0;
+        let mut picked = Vec::new();
+        let mut acc = 0.0;
+        for p in order {
+            picked.push(p);
+            acc += self.key_weight(p);
+            if acc >= target {
+                break;
+            }
+        }
+        picked.sort_unstable();
+        let mut ranges: Vec<KeyRange> = Vec::new();
+        for p in picked {
+            match ranges.last_mut() {
+                Some(r) if r.end == p => r.end = p + 1,
+                _ => ranges.push(KeyRange::new(p, p + 1)),
+            }
+        }
+        ranges
+    }
+
+    /// Cumulative normalized weight of the given ranges — the fraction of
+    /// the task's traffic and state they carry.
+    pub fn ranges_weight(&self, ranges: &[KeyRange]) -> f64 {
+        ranges
+            .iter()
+            .flat_map(|r| r.start..r.end.min(self.key_partitions))
+            .map(|p| self.key_weight(p))
+            .sum()
     }
 }
 
@@ -264,5 +472,90 @@ mod tests {
         let id = TaskId::from_index(7);
         assert_eq!(id.index(), 7);
         assert_eq!(id.to_string(), "t7");
+    }
+
+    #[test]
+    fn default_key_space_is_unkeyed() {
+        let t = TaskSpec::operator("t");
+        assert_eq!(t.key_partitions(), 1);
+        assert!(!t.is_keyed());
+        assert_eq!(t.key_weight(0), 1.0);
+        assert_eq!(t.partition_of(0xDEAD_BEEF), 0);
+        assert_eq!(t.hot_ranges(600), vec![KeyRange::new(0, 1)]);
+    }
+
+    #[test]
+    fn uniform_partitions_split_weight_evenly() {
+        let t = TaskSpec::operator("t").with_key_partitions(4);
+        assert_eq!(t.key_partitions(), 4);
+        assert!(t.is_keyed());
+        for p in 0..4 {
+            assert!((t.key_weight(p) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_keys_concentrate_weight_on_low_partitions() {
+        let t = TaskSpec::operator("t").with_zipf_keys(8, 2);
+        assert_eq!(t.key_partitions(), 8);
+        assert!(t.key_weight(0) > 0.6, "1/1 dominates sum(1/k^2)");
+        assert!(t.key_weight(0) > t.key_weight(1));
+        assert!(t.key_weight(6) > t.key_weight(7));
+        let total: f64 = (0..8).map(|p| t.key_weight(p)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_ranges_pick_a_prefix_under_zipf() {
+        let t = TaskSpec::operator("t").with_zipf_keys(8, 2);
+        let hot = t.hot_ranges(600);
+        assert_eq!(hot, vec![KeyRange::new(0, 1)], "partition 0 alone carries >60 %");
+        assert!(t.ranges_weight(&hot) >= 0.6);
+        assert_eq!(t.hot_ranges(1000), vec![KeyRange::new(0, 8)], "full target → whole space");
+    }
+
+    #[test]
+    fn hot_ranges_compress_non_contiguous_picks() {
+        let t = TaskSpec::operator("t").with_key_weights(vec![4.0, 1.0, 4.0, 1.0]);
+        assert_eq!(t.hot_ranges(800), vec![KeyRange::new(0, 1), KeyRange::new(2, 3)]);
+    }
+
+    #[test]
+    fn partition_of_respects_weights() {
+        let t = TaskSpec::operator("t").with_zipf_keys(8, 1);
+        let mut counts = [0u32; 8];
+        // splitmix64 over a few thousand roots: the hot partition must see
+        // far more traffic than the cold tail.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..4096 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            counts[t.partition_of(z ^ (z >> 31)) as usize] += 1;
+        }
+        assert!(counts[0] > 3 * counts[7], "partition 0 is ~8x hotter under 1/k");
+        assert!(counts.iter().all(|&c| c > 0), "every partition sees some traffic");
+    }
+
+    #[test]
+    fn key_range_basics() {
+        let r = KeyRange::new(2, 5);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(2) && r.contains(4) && !r.contains(5));
+        assert_eq!(r.to_string(), "k[2,5)");
+        assert_eq!(KeyRange::whole(4), KeyRange::new(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn rejects_zero_key_partitions() {
+        let _ = TaskSpec::operator("bad").with_key_partitions(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn rejects_all_zero_key_weights() {
+        let _ = TaskSpec::operator("bad").with_key_weights(vec![0.0, 0.0]);
     }
 }

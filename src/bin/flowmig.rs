@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! USAGE:
-//!   flowmig [--dag NAME] [--strategy dsm|dcr|dcr-parallel-init|ccr|ccr-pipelined]
+//!   flowmig [--dag NAME] [--strategy dsm|dcr|dcr-parallel-init|ccr|ccr-pipelined|ccr-key-range]
 //!           [--direction in|out] [--seed N] [--request-secs N]
 //!           [--horizon-secs N] [--shards N] [--parallel-waves FANOUT]
 //!           [--store-queueing] [--store-replicas N] [--store-quorum K]
-//!           [--shard-outage SHARD:AT_SECS:DOWN_SECS] [--csv throughput|latency]
+//!           [--shard-outage SHARD:AT_SECS:DOWN_SECS]
+//!           [--key-skew PARTITIONS:EXPONENT] [--scope all|hot|hot:PERMILLE]
+//!           [--no-wave-timeout] [--transport-buffer N]
+//!           [--csv throughput|latency]
 //! ```
 //!
 //! Prints the §4 metrics for one run of the paper's protocol, or a CSV
@@ -32,6 +35,10 @@ struct Args {
     store_replicas: Option<usize>,
     store_quorum: Option<usize>,
     shard_outages: Vec<(usize, u64, u64)>,
+    key_skew: Option<(u32, u32)>,
+    scope: Option<u16>,
+    no_wave_timeout: bool,
+    transport_buffer: Option<usize>,
     csv: Option<String>,
 }
 
@@ -46,6 +53,10 @@ fn usage() -> ExitCode {
          [--store-replicas N (replicate each shard N ways)] \
          [--store-quorum K (persists complete at the K-th fastest replica)] \
          [--shard-outage SHARD:AT_SECS:DOWN_SECS (repeatable; kill a shard mid-run)] \
+         [--key-skew PARTITIONS:EXPONENT (Zipf-key every operator task)] \
+         [--scope all|hot|hot:PERMILLE (ccr-key-range hot-weight target; all = 1000)] \
+         [--no-wave-timeout (ccr-key-range: wait out saturated hot owners)] \
+         [--transport-buffer N (channel rerouting buffer slots)] \
          [--csv throughput|latency]\n\nstrategies:",
         names.join("|")
     );
@@ -69,6 +80,10 @@ fn parse_args() -> Result<Args, String> {
         store_replicas: None,
         store_quorum: None,
         shard_outages: Vec::new(),
+        key_skew: None,
+        scope: None,
+        no_wave_timeout: false,
+        transport_buffer: None,
         csv: None,
     };
     let mut it = std::env::args().skip(1);
@@ -129,6 +144,50 @@ fn parse_args() -> Result<Args, String> {
                     down.parse().map_err(|e| format!("bad outage duration: {e}"))?,
                 ));
             }
+            "--key-skew" => {
+                let spec = value()?;
+                let parts: Vec<&str> = spec.split(':').collect();
+                let [partitions, exponent] = parts[..] else {
+                    return Err(format!("bad key skew `{spec}`: want PARTITIONS:EXPONENT"));
+                };
+                let partitions: u32 =
+                    partitions.parse().map_err(|e| format!("bad key partitions: {e}"))?;
+                if partitions == 0 {
+                    return Err("a keyed task needs at least one key partition".to_owned());
+                }
+                args.key_skew = Some((
+                    partitions,
+                    exponent.parse().map_err(|e| format!("bad skew exponent: {e}"))?,
+                ));
+            }
+            "--scope" => {
+                let spec = value()?;
+                args.scope = Some(match spec.as_str() {
+                    "all" => 1000,
+                    "hot" => 600,
+                    other => match other.strip_prefix("hot:") {
+                        Some(p) => {
+                            let permille: u16 =
+                                p.parse().map_err(|e| format!("bad scope permille: {e}"))?;
+                            if permille == 0 || permille > 1000 {
+                                return Err(format!(
+                                    "scope permille must be in 1..=1000, got {permille}"
+                                ));
+                            }
+                            permille
+                        }
+                        None => return Err(format!("unknown scope `{other}`")),
+                    },
+                });
+            }
+            "--no-wave-timeout" => args.no_wave_timeout = true,
+            "--transport-buffer" => {
+                let n: usize = value()?.parse().map_err(|e| format!("bad buffer size: {e}"))?;
+                if n == 0 {
+                    return Err("a transport buffer needs at least one slot".to_owned());
+                }
+                args.transport_buffer = Some(n);
+            }
             "--csv" => args.csv = Some(value()?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -170,16 +229,23 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    let Some(dag) = dag_by_name(&args.dag) else {
+    let Some(mut dag) = dag_by_name(&args.dag) else {
         eprintln!("error: unknown dataflow `{}`", args.dag);
         return usage();
     };
+    if let Some((partitions, exponent)) = args.key_skew {
+        dag = library::zipf_keyed(&dag, partitions, exponent);
+    }
     let mut controller = MigrationController::new()
         .with_request_at(SimTime::from_secs(args.request_secs))
         .with_horizon(SimTime::from_secs(args.horizon_secs))
         .with_seed(args.seed);
     if let Some(shards) = args.shards {
         controller = controller.with_store_shards(shards);
+    }
+    if let Some(slots) = args.transport_buffer {
+        let config = EngineConfig { transport_buffer: slots, ..EngineConfig::default() };
+        controller = controller.with_engine_config(config);
     }
     if args.store_queueing {
         controller = controller.with_store_service(StoreServiceModel::FifoPerShard);
@@ -210,7 +276,30 @@ fn main() -> ExitCode {
         eprintln!("error: unknown strategy `{}`", args.strategy);
         return usage();
     };
-    let strategy = info.build(args.parallel_waves);
+    if args.scope.is_some() && info.cli_name != "ccr-key-range" {
+        eprintln!("error: --scope only applies to --strategy ccr-key-range");
+        return usage();
+    }
+    if args.no_wave_timeout && args.scope.is_none() {
+        eprintln!("error: --no-wave-timeout only applies to --strategy ccr-key-range with --scope");
+        return usage();
+    }
+    let strategy: Box<dyn MigrationStrategy> = match args.scope {
+        Some(permille) => {
+            let mut s = CcrKeyRange::new().with_hot_permille(permille);
+            if args.no_wave_timeout {
+                // A Zipf hot owner can run past utilization 1 and delay its
+                // PREPARE beyond the default wave deadline; waiting it out
+                // turns the honest abort into a (slow) completed migration.
+                s = s.without_wave_timeout();
+            }
+            Box::new(match args.parallel_waves {
+                Some(fan_out) => s.with_fan_out(fan_out),
+                None => s,
+            })
+        }
+        None => info.build(args.parallel_waves),
+    };
     let result = controller.run(&dag, strategy.as_ref(), args.direction);
     let outcome = match result {
         Ok(o) => o,
@@ -267,6 +356,14 @@ fn main() -> ExitCode {
             outcome.stats.store_quorum_persists,
             outcome.stats.store_degraded_persists,
             outcome.stats.store_ops_failed,
+        );
+    }
+    if outcome.metrics.ranges_moved > 0 {
+        println!(
+            "  key ranges:    {} ranges moved {} bytes ({} bytes stayed resident)",
+            outcome.metrics.ranges_moved,
+            outcome.metrics.moved_bytes,
+            outcome.metrics.resident_bytes,
         );
     }
     ExitCode::SUCCESS

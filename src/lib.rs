@@ -62,7 +62,8 @@ pub mod prelude {
         ScalePlan, VmPool, VmRole, VmSize,
     };
     pub use flowmig_core::{
-        Ccr, Dcr, Dsm, MigrationController, MigrationOutcome, MigrationStrategy, StrategyKind,
+        Ccr, CcrKeyRange, Dcr, Dsm, MigrationController, MigrationOutcome, MigrationStrategy,
+        StrategyKind,
     };
     pub use flowmig_engine::{
         Engine, EngineConfig, EngineStats, ProtocolConfig, StoreReplication, StoreServiceModel,

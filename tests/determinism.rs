@@ -330,6 +330,93 @@ fn shard_outage_abort_timeline_is_pinned() {
     assert_eq!(hash, PINNED, "shard-outage abort timeline drifted; actual {hash:#018x}");
 }
 
+/// The `CcrKeyRange` matrix, pinned: key-range-scoped waves
+/// (`WaveScope::KeyRanges`, hot weight 600‰) across all five paper DAGs.
+/// The library DAGs are unkeyed (one partition per task), so the hot
+/// range covers everything and CCR-KR degenerates to whole-instance
+/// behavior — no `RangePersist` events, nothing resident — but the scoped
+/// wave plumbing (scope resolution, scoped ack targets, derived fan-out
+/// from the scoped count) is still on the timeline. Run-twice equality
+/// guards nondeterminism; the pins guard drift.
+#[test]
+fn ccr_key_range_matrix_is_pinned_and_deterministic() {
+    const PINNED: [(&str, u64); 5] = [
+        ("linear", 0xa6f95d2b60d93387),
+        ("diamond", 0xaefab2b9bd412f5e),
+        ("star", 0x877d00a6b37af5be),
+        ("grid", 0xaa744f94bd1379b8),
+        ("traffic", 0x46033e476176352a),
+    ];
+    let mut mismatches = Vec::new();
+    for dag in dags() {
+        let first = controller(7)
+            .run(&dag, &CcrKeyRange::new(), ScaleDirection::In)
+            .expect("paper scenario placeable");
+        let second = controller(7)
+            .run(&dag, &CcrKeyRange::new(), ScaleDirection::In)
+            .expect("paper scenario placeable");
+        assert_eq!(first.stats, second.stats, "stats diverged: CCR-KR on {}", dag.name());
+        assert_eq!(first.trace, second.trace, "trace diverged: CCR-KR on {}", dag.name());
+        assert!(first.completed, "CCR-KR completes on {}", dag.name());
+        assert_eq!(first.stats.events_dropped, 0, "CCR-KR loses nothing on {}", dag.name());
+        assert_eq!(
+            first.stats.state_bytes_resident,
+            0,
+            "unkeyed DAGs leave nothing resident on {}",
+            dag.name()
+        );
+        let pinned = PINNED
+            .iter()
+            .find(|(d, _)| *d == dag.name())
+            .unwrap_or_else(|| panic!("no pin for {}", dag.name()));
+        let hash = trace_hash(&first.trace);
+        if hash != pinned.1 {
+            mismatches.push(format!("(\"{}\", {hash:#018x})", dag.name()));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "CCR-KR timelines drifted; actual hashes:\n{}",
+        mismatches.join(",\n")
+    );
+}
+
+/// The skew tier, pinned: CCR-KR on the Zipf-keyed grid
+/// (`grid_zipf(3, 8, 2)` — partition 0 carries ~65% of every operator
+/// task's weight). Keyed routing saturates the hot partition owners, so
+/// the wave timeout is lifted (their request-time backlog delays PREPARE
+/// past 30 s) and the transport buffer is raised so the staggered restore
+/// replay cannot overflow still-starting downstream workers. This run
+/// exercises everything the unkeyed matrix cannot: keyed routing, capture
+/// filtered to the hot ranges, `RangePersist`/`RangeRestore` events, and
+/// resident cold state.
+#[test]
+fn skewed_grid_key_range_timeline_is_pinned() {
+    const PINNED: u64 = 0x65299689230df4fd;
+    let run = || {
+        let config = EngineConfig { transport_buffer: 2048, ..EngineConfig::default() };
+        controller(7)
+            .with_engine_config(config)
+            .with_horizon(SimTime::from_secs(400))
+            .run(
+                &library::grid_zipf(3, 8, 2),
+                &CcrKeyRange::new().without_wave_timeout(),
+                ScaleDirection::In,
+            )
+            .expect("paper scenario placeable")
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.stats, second.stats, "stats diverged: skewed-grid CCR-KR");
+    assert_eq!(first.trace, second.trace, "trace diverged: skewed-grid CCR-KR");
+    assert!(first.completed, "CCR-KR completes on the skewed grid");
+    assert_eq!(first.stats.events_dropped, 0, "nothing lost under skew");
+    assert!(first.trace.ranges_moved() > 0, "hot ranges actually moved");
+    assert!(first.stats.state_bytes_resident > 0, "cold state stayed resident");
+    let hash = trace_hash(&first.trace);
+    assert_eq!(hash, PINNED, "skewed-grid CCR-KR timeline drifted; actual {hash:#018x}");
+}
+
 #[test]
 fn different_seeds_actually_diverge() {
     // Sanity check that the equality above is meaningful: jitter draws
