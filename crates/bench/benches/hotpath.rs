@@ -10,13 +10,17 @@
 //! `EXPERIMENTS.md`; CI runs a reduced-sample smoke pass exporting
 //! `BENCH_hotpath.json` (see the criterion shim's `CRITERION_JSON`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use flowmig_engine::{Acker, ShardedStateStore, StateBlob};
 use flowmig_metrics::RootId;
-use flowmig_sim::{EventQueue, SimDuration, SimTime};
+use flowmig_sim::{EventQueue, QueueBackend, SimDuration, SimTime};
 use flowmig_topology::InstanceId;
 use std::collections::HashMap;
 use std::hint::black_box;
+use std::time::Instant;
+
+const BACKENDS: [(QueueBackend, &str); 2] =
+    [(QueueBackend::Heap, "heap"), (QueueBackend::Calendar, "calendar")];
 
 const SIZES: [(usize, &str); 3] = [(1_000, "1k"), (10_000, "10k"), (100_000, "100k")];
 const TIMEOUT: SimDuration = SimDuration::from_secs(30);
@@ -133,39 +137,83 @@ fn bench_acker_expire_due(c: &mut Criterion) {
     group.finish();
 }
 
+/// The 100k-pending mixed-horizon workload the CI tripwire gates on:
+/// 100k events, ~87 % within 500 ms (ring traffic), the rest spread out to
+/// 30 s (overflow tier), drained in dispatch-style batches with one
+/// follow-up rescheduled per eight popped events — the shape an engine run
+/// presents to the future-event list. Returns an FNV-1a hash over the pop
+/// sequence so callers can assert both backends drained identically.
+fn mixed_horizon_churn_100k(backend: QueueBackend) -> u64 {
+    let mut q = EventQueue::with_backend(backend);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rng = move || {
+        state =
+            state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        state >> 11
+    };
+    for i in 0..100_000u64 {
+        let r = rng();
+        let micros = if r % 8 == 0 { r % 30_000_000 } else { r % 500_000 };
+        q.schedule(SimTime::from_micros(micros), i);
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut follow_ups = 0u64;
+    let mut batch = Vec::new();
+    while let Some(t) = q.peek_time() {
+        q.pop_due_capped_into(t, usize::MAX, &mut batch);
+        for &(at, v) in &batch {
+            for b in at.as_micros().to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+            if v % 8 == 0 && follow_ups < 30_000 {
+                follow_ups += 1;
+                q.schedule(at + SimDuration::from_micros((v % 997) * 100 + 1), 1_000_000 + v);
+            }
+        }
+        batch.clear();
+    }
+    hash
+}
+
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
-    group.bench_function("schedule_pop_singles_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_micros((i * 7_919) % 100_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
-    });
-    group.bench_function("schedule_batch_pop_due_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            // 100 instants × 100-event batches, as the engine's delivery
-            // waves produce them.
-            for instant in 0..100u64 {
-                let due = SimTime::from_millis(instant);
-                q.schedule_batch(due, (0..100u64).map(|i| instant * 100 + i));
-            }
-            let mut sum = 0u64;
-            while let Some(t) = q.peek_time() {
-                for (_, v) in q.pop_due(t) {
+    for (backend, label) in BACKENDS {
+        group.bench_function(&format!("schedule_pop_singles_10k_{label}"), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_backend(backend);
+                for i in 0..10_000u64 {
+                    q.schedule(SimTime::from_micros((i * 7_919) % 100_000), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, v)) = q.pop() {
                     sum = sum.wrapping_add(v);
                 }
-            }
-            black_box(sum)
-        })
-    });
+                black_box(sum)
+            })
+        });
+        group.bench_function(&format!("schedule_batch_pop_due_10k_{label}"), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_backend(backend);
+                // 100 instants × 100-event batches, as the engine's delivery
+                // waves produce them.
+                for instant in 0..100u64 {
+                    let due = SimTime::from_millis(instant);
+                    q.schedule_batch(due, (0..100u64).map(|i| instant * 100 + i));
+                }
+                let mut sum = 0u64;
+                while let Some(t) = q.peek_time() {
+                    for (_, v) in q.pop_due(t) {
+                        sum = sum.wrapping_add(v);
+                    }
+                }
+                black_box(sum)
+            })
+        });
+        group.bench_function(&format!("mixed_horizon_100k_{label}"), |b| {
+            b.iter(|| black_box(mixed_horizon_churn_100k(backend)))
+        });
+    }
     group.finish();
 }
 
@@ -213,4 +261,51 @@ criterion_group!(
     bench_event_queue,
     bench_sharded_store,
 );
-criterion_main!(hotpath);
+
+/// CI tripwire: the calendar backend must beat the heap by >= 2x on the
+/// 100k-pending mixed-horizon workload, or the bench exits non-zero. Both
+/// drains must also hash identically — a fast-but-wrong backend fails
+/// louder than a slow one.
+fn queue_backend_tripwire() {
+    let time_and_hash = |backend: QueueBackend| {
+        let mut best = f64::INFINITY;
+        let mut hash = 0u64;
+        // One warm-up + best of 5 timed runs.
+        for round in 0..6 {
+            let start = Instant::now();
+            hash = black_box(mixed_horizon_churn_100k(backend));
+            let secs = start.elapsed().as_secs_f64();
+            if round > 0 {
+                best = best.min(secs);
+            }
+        }
+        (best, hash)
+    };
+    let (heap_s, heap_hash) = time_and_hash(QueueBackend::Heap);
+    let (cal_s, cal_hash) = time_and_hash(QueueBackend::Calendar);
+    let speedup = heap_s / cal_s;
+    println!(
+        "event_queue/mixed_horizon_100k tripwire: heap {:.2} ms, calendar {:.2} ms ({speedup:.2}x)",
+        heap_s * 1e3,
+        cal_s * 1e3,
+    );
+    assert_eq!(heap_hash, cal_hash, "backends drained different pop sequences");
+    if speedup < 2.0 {
+        eprintln!(
+            "PERF REGRESSION: calendar backend only {speedup:.2}x faster than heap \
+             on the 100k mixed-horizon workload (tripwire requires >= 2x)"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    hotpath();
+    // `cargo test` runs bench targets with libtest flags; skip the wall
+    // clock tripwire there, exactly as the criterion harness skips its
+    // sampling.
+    let libtest = std::env::args().any(|a| a.contains("--test") || a == "--list");
+    if !libtest {
+        queue_backend_tripwire();
+    }
+}

@@ -56,6 +56,13 @@
 //! the hot owner, whose request-time backlog delays PREPARE past the
 //! default 30 s wave timeout (an honest model outcome — skewed scenarios
 //! must extend it).
+//!
+//! The scale rows run `grid_scaled(625)` — **10,000 wave participants** —
+//! under CCR-P once per future-event-list backend (`heap` vs `calendar`)
+//! on the same seed. The backends are provably order-identical, so the
+//! simulated outcome must match bit-for-bit (a tripwire exits non-zero if
+//! it does not); what differs is host wall-clock and the DES dispatch
+//! rate, both reported per row.
 
 use flowmig_bench::{banner, BENCH_SEEDS};
 use flowmig_cluster::ScaleDirection;
@@ -64,7 +71,7 @@ use flowmig_core::{
 };
 use flowmig_engine::{EngineConfig, StoreLatencyModel, StoreServiceModel};
 use flowmig_metrics::{ControlKind, TraceEvent};
-use flowmig_sim::{SimDuration, SimTime};
+use flowmig_sim::{QueueBackend, SimDuration, SimTime};
 use flowmig_topology::library;
 use flowmig_workloads::TextTable;
 use std::fmt::Write as _;
@@ -92,6 +99,10 @@ struct Cell {
     /// Wave-scope label: `-` for whole-instance rows, else the hot-weight
     /// target of the key-range scope (e.g. `hot:600`).
     scope: String,
+    /// Future-event-list backend the row ran under.
+    backend: &'static str,
+    /// Mean DES events dispatched by the simulation driver over the run.
+    sim_events: f64,
     /// Mean durable state bytes persisted to the store (processed counter
     /// plus per-key-partition counters; captured pending events are replay
     /// traffic, not state, and are excluded).
@@ -110,6 +121,22 @@ struct Cell {
 impl Cell {
     fn total_ms(&self) -> f64 {
         self.commit_ms + self.restore_ms
+    }
+
+    /// DES dispatch throughput: simulated events per host wall second.
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.sim_events / (self.wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
+fn backend_label(backend: QueueBackend) -> &'static str {
+    match backend {
+        QueueBackend::Heap => "heap",
+        QueueBackend::Calendar => "calendar",
     }
 }
 
@@ -159,7 +186,7 @@ fn measure_replicated(
     let dag = library::grid_scaled(width);
     let (mut commit, mut restore, mut wall) = (0.0, 0.0, 0.0);
     let (mut queued_wait, mut queued_ops, mut max_depth) = (0.0, 0.0, 0.0);
-    let mut moved_bytes = 0.0;
+    let (mut moved_bytes, mut sim_events) = (0.0, 0.0);
     for &seed in &BENCH_SEEDS {
         let started = Instant::now();
         let mut c = controller(shards, seed, service);
@@ -176,6 +203,7 @@ fn measure_replicated(
         queued_ops += out.stats.store_ops_queued as f64;
         max_depth += out.shard_stats.iter().map(|s| s.max_queue_depth).max().unwrap_or(0) as f64;
         moved_bytes += out.stats.state_bytes_moved as f64;
+        sim_events += out.stats.sim_events as f64;
     }
     let n = BENCH_SEEDS.len() as f64;
     Cell {
@@ -187,6 +215,8 @@ fn measure_replicated(
         store: store_label(service),
         replication: replication.map_or_else(|| "-".to_owned(), |(n, k)| format!("{k}of{n}")),
         scope: "-".to_owned(),
+        backend: backend_label(EngineConfig::default().queue_backend),
+        sim_events: sim_events / n,
         moved_bytes: moved_bytes / n,
         commit_ms: commit / n,
         restore_ms: restore / n,
@@ -227,7 +257,7 @@ fn measure_skew(strategy: &dyn MigrationStrategy, scope: &str) -> Cell {
     };
     let (mut commit, mut restore, mut wall) = (0.0, 0.0, 0.0);
     let (mut queued_wait, mut queued_ops, mut max_depth) = (0.0, 0.0, 0.0);
-    let mut moved_bytes = 0.0;
+    let (mut moved_bytes, mut sim_events) = (0.0, 0.0);
     for &seed in &BENCH_SEEDS {
         let started = Instant::now();
         let out = MigrationController::new()
@@ -248,6 +278,7 @@ fn measure_skew(strategy: &dyn MigrationStrategy, scope: &str) -> Cell {
         queued_ops += out.stats.store_ops_queued as f64;
         max_depth += out.shard_stats.iter().map(|s| s.max_queue_depth).max().unwrap_or(0) as f64;
         moved_bytes += out.stats.state_bytes_moved as f64;
+        sim_events += out.stats.sim_events as f64;
     }
     let n = BENCH_SEEDS.len() as f64;
     Cell {
@@ -261,6 +292,8 @@ fn measure_skew(strategy: &dyn MigrationStrategy, scope: &str) -> Cell {
         store: store_label(StoreServiceModel::FifoPerShard),
         replication: "-".to_owned(),
         scope: scope.to_owned(),
+        backend: backend_label(EngineConfig::default().queue_backend),
+        sim_events: sim_events / n,
         moved_bytes: moved_bytes / n,
         commit_ms: commit / n,
         restore_ms: restore / n,
@@ -268,6 +301,61 @@ fn measure_skew(strategy: &dyn MigrationStrategy, scope: &str) -> Cell {
         queued_wait_ms: queued_wait / n,
         queued_ops: queued_ops / n,
         max_queue_depth: max_depth / n,
+    }
+}
+
+/// One 10k-instance scale cell: `grid_scaled(625)` widens every grid task
+/// to 625 instances — 10,000 wave participants — and runs the
+/// derived-window CCR-P plan under the given future-event-list backend.
+/// Store queueing is left at the zero-queueing compatibility model: the
+/// scale dimension measures the *simulator's* dispatch path (the wave
+/// fan-out floods the future-event list with tens of thousands of pending
+/// deliveries), not store contention, which the fifo rows already cover.
+/// One seed bounds bench time — the backend comparison is within-seed, so
+/// averaging would only add wall-clock, and the order-identity tripwire in
+/// `main` makes any cross-backend divergence fatal anyway.
+fn measure_scale(backend: QueueBackend) -> Cell {
+    const WIDTH: usize = 625;
+    let dag = library::grid_scaled(WIDTH);
+    let shards = 32;
+    let seed = BENCH_SEEDS[0];
+    let started = Instant::now();
+    let out = controller(shards, seed, StoreServiceModel::Unqueued)
+        .with_queue_backend(backend)
+        .run(&dag, &CcrPipelined::new(), ScaleDirection::In)
+        .expect("10k-instance grid placeable");
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let label = backend_label(backend);
+    assert!(out.completed, "10k-instance migration completes ({label})");
+    assert_eq!(out.stats.events_dropped, 0, "reliable migration drops nothing");
+    println!(
+        "scale @ {} instances [{label}]: {} sim events in {wall_ms:.0} ms \
+         ({:.2}M ev/s), peak {} pending, {} window rotations",
+        16 * WIDTH,
+        out.stats.sim_events,
+        out.stats.sim_events as f64 / (wall_ms / 1e3) / 1e6,
+        out.stats.queue_peak_pending,
+        out.stats.queue_rotations,
+    );
+    Cell {
+        dag: dag.name().to_owned(),
+        participants: 16 * WIDTH,
+        shards,
+        strategy: "CCR-P",
+        waves: "pipelined",
+        store: store_label(StoreServiceModel::Unqueued),
+        replication: "-".to_owned(),
+        scope: "-".to_owned(),
+        backend: label,
+        sim_events: out.stats.sim_events as f64,
+        moved_bytes: out.stats.state_bytes_moved as f64,
+        commit_ms: out.metrics.commit_wave.expect("commit span").as_millis_f64(),
+        restore_ms: out.metrics.restore_wave.expect("restore span").as_millis_f64(),
+        wall_ms,
+        queued_wait_ms: out.stats.store_wait_us as f64 / 1e3,
+        queued_ops: out.stats.store_ops_queued as f64,
+        max_queue_depth: out.shard_stats.iter().map(|s| s.max_queue_depth).max().unwrap_or(0)
+            as f64,
     }
 }
 
@@ -284,7 +372,8 @@ fn json_row(c: &Cell) -> String {
          \"commit_ms\": {:.3}, \"restore_ms\": {:.3}, \
          \"total_ms\": {:.3}, \"wall_ms\": {:.3}, \"queued_wait_ms\": {:.3}, \
          \"queued_ops\": {:.1}, \"max_queue_depth\": {:.1}, \
-         \"scope\": \"{}\", \"moved_bytes\": {:.0}}}",
+         \"scope\": \"{}\", \"moved_bytes\": {:.0}, \
+         \"backend\": \"{}\", \"sim_events\": {:.0}, \"events_per_sec\": {:.0}}}",
         c.dag,
         c.participants,
         c.shards,
@@ -301,6 +390,9 @@ fn json_row(c: &Cell) -> String {
         c.max_queue_depth,
         c.scope,
         c.moved_bytes,
+        c.backend,
+        c.sim_events,
+        c.events_per_sec(),
     );
     row
 }
@@ -442,6 +534,12 @@ fn main() {
     // Zipf-keyed 96-instance grid under the FIFO store.
     cells.push(measure_skew(&CcrPipelined::new().without_wave_timeout(), "-"));
     cells.push(measure_skew(&CcrKeyRange::new().without_wave_timeout(), "hot:600"));
+    // Scale rows: the 10,000-participant grid, once per future-event-list
+    // backend on the same seed (order-identity checked below).
+    let scale_heap = measure_scale(QueueBackend::Heap);
+    let scale_calendar = measure_scale(QueueBackend::Calendar);
+    cells.push(scale_heap);
+    cells.push(scale_calendar);
 
     let mut table = TextTable::new(&[
         "DAG",
@@ -452,6 +550,7 @@ fn main() {
         "store",
         "repl",
         "scope",
+        "backend",
         "commit (ms)",
         "restore (ms)",
         "commit+restore (ms)",
@@ -470,6 +569,7 @@ fn main() {
             c.store.to_owned(),
             c.replication.clone(),
             c.scope.clone(),
+            c.backend.to_owned(),
             format!("{:.2}", c.commit_ms),
             format!("{:.2}", c.restore_ms),
             format!("{:.2}", c.total_ms()),
@@ -664,11 +764,54 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Backend order-identity tripwire at scale: the heap and calendar rows
+    // ran the same seed on the same 10,000-participant scenario, so every
+    // *simulated* quantity must match exactly — a divergence means the
+    // calendar queue reordered events and the backend guarantee is broken.
+    {
+        let scale = |backend: &str| {
+            cells
+                .iter()
+                .find(|c| c.participants == 10_000 && c.backend == backend)
+                .expect("scale cell measured")
+        };
+        let heap = scale("heap");
+        let cal = scale("calendar");
+        let identical = heap.commit_ms == cal.commit_ms
+            && heap.restore_ms == cal.restore_ms
+            && heap.sim_events == cal.sim_events
+            && heap.moved_bytes == cal.moved_bytes;
+        println!(
+            "scale @ 10000 instances: heap wall {:.0} ms ({:.2}M ev/s) vs calendar wall \
+             {:.0} ms ({:.2}M ev/s), simulated outcome identical={identical}",
+            heap.wall_ms,
+            heap.events_per_sec() / 1e6,
+            cal.wall_ms,
+            cal.events_per_sec() / 1e6,
+        );
+        if !identical {
+            eprintln!(
+                "BACKEND REGRESSION: heap and calendar disagree on the 10k-instance run \
+                 (commit {:.3}/{:.3} ms, restore {:.3}/{:.3} ms, sim events {:.0}/{:.0}, \
+                 state bytes {:.0}/{:.0}) — the calendar queue is no longer order-identical",
+                heap.commit_ms,
+                cal.commit_ms,
+                heap.restore_ms,
+                cal.restore_ms,
+                heap.sim_events,
+                cal.sim_events,
+                heap.moved_bytes,
+                cal.moved_bytes,
+            );
+            std::process::exit(1);
+        }
+    }
     println!(
         "shape checks passed: parallel COMMIT beats sequential at {} instances, >=3x total \
          at 96/8, 1-shard contention binds under the fifo store, quorum-2 persists beat the \
-         full-replica wait, a mid-COMMIT shard outage aborts through ROLLBACK, and key-range \
-         scope is >=2x faster while moving <25% of state bytes on the skewed grid",
+         full-replica wait, a mid-COMMIT shard outage aborts through ROLLBACK, key-range \
+         scope is >=2x faster while moving <25% of state bytes on the skewed grid, and the \
+         calendar backend reproduces the heap's 10k-instance run bit-for-bit",
         16 * widest
     );
 }

@@ -6,7 +6,7 @@ use flowmig_engine::{
     Engine, EngineConfig, EngineStats, ShardStats, StoreReplication, StoreServiceModel,
 };
 use flowmig_metrics::{MigrationMetrics, StabilityCriteria, TraceLog};
-use flowmig_sim::{SimDuration, SimTime};
+use flowmig_sim::{QueueBackend, SimDuration, SimTime};
 use flowmig_topology::{Dataflow, InstanceSet, RatePlan};
 
 /// Everything measured from one migration run.
@@ -82,6 +82,15 @@ impl MigrationController {
     /// Overrides the engine timing model.
     pub fn with_engine_config(mut self, config: EngineConfig) -> Self {
         self.engine_config = config;
+        self
+    }
+
+    /// Selects the simulation's future-event-list backend. Backends are
+    /// provably order-identical (see the `flowmig_sim::queue` module
+    /// docs): traces and stats do not change, only wall-clock speed —
+    /// `Calendar` pays off at thousands of instances.
+    pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.engine_config.queue_backend = backend;
         self
     }
 

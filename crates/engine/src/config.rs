@@ -21,7 +21,7 @@
 //! than bookkeeping: over-wide windows now queue, and shard-count sweeps
 //! produce contention curves instead of flat lines.
 
-use flowmig_sim::{SimDuration, SimRng};
+use flowmig_sim::{QueueBackend, SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
 
 /// Latency model of the checkpoint state store (the paper's Redis v3.2.8 on
@@ -255,6 +255,15 @@ pub struct EngineConfig {
     pub source_interval_jitter: f64,
     /// Event budget per simulation run (guards against event storms).
     pub event_budget: u64,
+    /// Which future-event-list backend the simulation runs on. Backends
+    /// are provably order-identical (see the `flowmig_sim::queue` module
+    /// docs), so this is purely a performance knob: `Calendar` pays off on
+    /// large scenarios, `Heap` (the default) is the untunable baseline.
+    ///
+    /// The default honors the `FLOWMIG_QUEUE_BACKEND` environment variable
+    /// (`heap` | `calendar`), which is how CI runs the whole test suite
+    /// under the calendar backend without touching any call site.
+    pub queue_backend: QueueBackend,
 }
 
 impl Default for EngineConfig {
@@ -282,7 +291,20 @@ impl Default for EngineConfig {
             task_latency_jitter: 0.2,
             source_interval_jitter: 0.35,
             event_budget: 100_000_000,
+            queue_backend: queue_backend_from_env(),
         }
+    }
+}
+
+/// Default queue backend: `FLOWMIG_QUEUE_BACKEND` if set (a typo panics
+/// loudly rather than silently running the wrong backend in a CI matrix
+/// leg), otherwise [`QueueBackend::Heap`].
+fn queue_backend_from_env() -> QueueBackend {
+    match std::env::var("FLOWMIG_QUEUE_BACKEND") {
+        Ok(value) => {
+            value.parse().unwrap_or_else(|err| panic!("invalid FLOWMIG_QUEUE_BACKEND: {err}"))
+        }
+        Err(_) => QueueBackend::Heap,
     }
 }
 

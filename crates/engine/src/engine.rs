@@ -460,7 +460,7 @@ impl EngineModel {
             // The benchmark generator stalls once its buffer is full (the
             // driver thread sleeps while the spout is paused/throttled).
             let next = self.next_tick_interval(sidx);
-            sched.after(next, Ev::SourceTick { instance });
+            sched.after(next, Ev::SourceTick { instance: instance as u32 });
             return;
         }
         let root = RootId(self.rng.id());
@@ -476,7 +476,7 @@ impl EngineModel {
             self.maybe_schedule_drain(sidx, sched);
         }
         let next = self.next_tick_interval(sidx);
-        sched.after(next, Ev::SourceTick { instance });
+        sched.after(next, Ev::SourceTick { instance: instance as u32 });
     }
 
     /// Next inter-emission gap: the configured interval with generator
@@ -496,7 +496,7 @@ impl EngineModel {
         if !s.draining && (!s.backlog.is_empty() || !s.retries.is_empty()) && self.can_emit(sidx) {
             let instance = s.instance;
             self.sources[sidx].draining = true;
-            sched.now_event(Ev::SourceDrain { instance });
+            sched.now_event(Ev::SourceDrain { instance: instance as u32 });
         }
     }
 
@@ -516,7 +516,7 @@ impl EngineModel {
             self.emit_root(sidx, root, gen, false, sched);
         }
         let interval = self.config.source_drain_interval;
-        sched.after(interval, Ev::SourceDrain { instance });
+        sched.after(interval, Ev::SourceDrain { instance: instance as u32 });
     }
 
     /// Emits (or re-emits) a root: one copy per out-edge of the source task,
@@ -598,7 +598,7 @@ impl EngineModel {
         sched: &mut Scheduler<'_, Ev>,
     ) {
         let delay = self.net_delay(from, to);
-        sched.after(delay, Ev::Deliver { to, item });
+        sched.after(delay, Ev::Deliver { to: to as u32, item });
     }
 
     fn on_deliver(&mut self, to: usize, item: QueueItem, sched: &mut Scheduler<'_, Ev>) {
@@ -635,7 +635,7 @@ impl EngineModel {
             WorkerStatus::Running => {
                 rt.queue.push_back(item);
                 if !rt.busy() {
-                    sched.now_event(Ev::Wake { instance: to });
+                    sched.now_event(Ev::Wake { instance: to as u32 });
                 }
             }
             WorkerStatus::Starting => match item {
@@ -709,12 +709,12 @@ impl EngineModel {
                     } else {
                         self.rng.jittered(latency, jitter)
                     };
-                    sched.after(service, Ev::Finish { instance });
+                    sched.after(service, Ev::Finish { instance: instance as u32 });
                     return;
                 }
                 QueueItem::Control(c) => {
                     rt.current = Some(Work::Control(c));
-                    sched.after(control_latency, Ev::Finish { instance });
+                    sched.after(control_latency, Ev::Finish { instance: instance as u32 });
                     return;
                 }
             }
@@ -733,7 +733,7 @@ impl EngineModel {
         }
         let rt = &self.runtimes[instance];
         if !rt.busy() && !rt.queue.is_empty() && rt.status == WorkerStatus::Running {
-            sched.now_event(Ev::Wake { instance });
+            sched.now_event(Ev::Wake { instance: instance as u32 });
         }
     }
 
@@ -1174,8 +1174,10 @@ impl EngineModel {
         let mut classes: Vec<(SimDuration, Vec<Ev>)> = Vec::new();
         for (to, from) in injections {
             let delay = extra + self.net_delay(None, to);
-            let ev =
-                Ev::Deliver { to, item: QueueItem::Control(ControlEvent { kind, wave, from }) };
+            let ev = Ev::Deliver {
+                to: to as u32,
+                item: QueueItem::Control(ControlEvent { kind, wave, from }),
+            };
             match classes.iter_mut().find(|(d, _)| *d == delay) {
                 Some((_, batch)) => batch.push(ev),
                 None => classes.push((delay, vec![ev])),
@@ -1271,7 +1273,7 @@ impl EngineModel {
                     return; // shard down: the COMMIT stalls toward rollback
                 };
                 self.runtimes[instance].current = Some(Work::Persist(c));
-                sched.after(cost, Ev::Finish { instance });
+                sched.after(cost, Ev::Finish { instance: instance as u32 });
             }
             ControlKind::Rollback => {
                 if self.already_acked(ControlKind::Rollback, instance) {
@@ -1298,7 +1300,7 @@ impl EngineModel {
                         return; // shard down: the resend timer retries later
                     };
                     self.runtimes[instance].current = Some(Work::Restore(c));
-                    sched.after(cost, Ev::Finish { instance });
+                    sched.after(cost, Ev::Finish { instance: instance as u32 });
                     return;
                 }
                 self.ack_control(instance, ControlKind::Rollback, sched);
@@ -1338,7 +1340,7 @@ impl EngineModel {
                     return; // shard down: INIT resends retry after recovery
                 };
                 self.runtimes[instance].current = Some(Work::Restore(c));
-                sched.after(cost, Ev::Finish { instance });
+                sched.after(cost, Ev::Finish { instance: instance as u32 });
             }
         }
     }
@@ -1663,7 +1665,7 @@ impl EngineModel {
         for iid in migrating {
             self.runtimes[iid.index()].status = WorkerStatus::Starting;
             let delay = self.config.worker_ready_delay(&mut self.rng);
-            sched.after(delay, Ev::WorkerReady { instance: iid.index() });
+            sched.after(delay, Ev::WorkerReady { instance: iid.index() as u32 });
         }
         self.notify(sched, |c, ctl| c.on_rebalance_complete(ctl));
     }
@@ -1679,7 +1681,7 @@ impl EngineModel {
             at: sched.now(),
         });
         if !rt.busy() && !self.runtimes[instance].queue.is_empty() {
-            sched.now_event(Ev::Wake { instance });
+            sched.now_event(Ev::Wake { instance: instance as u32 });
         }
     }
 
@@ -1722,11 +1724,11 @@ impl EngineModel {
 impl Process<Ev> for EngineModel {
     fn handle(&mut self, event: Ev, sched: &mut Scheduler<'_, Ev>) {
         match event {
-            Ev::SourceTick { instance } => self.on_source_tick(instance, sched),
-            Ev::SourceDrain { instance } => self.on_source_drain(instance, sched),
-            Ev::Deliver { to, item } => self.on_deliver(to, item, sched),
-            Ev::Wake { instance } => self.on_wake(instance, sched),
-            Ev::Finish { instance } => self.on_finish(instance, sched),
+            Ev::SourceTick { instance } => self.on_source_tick(instance as usize, sched),
+            Ev::SourceDrain { instance } => self.on_source_drain(instance as usize, sched),
+            Ev::Deliver { to, item } => self.on_deliver(to as usize, item, sched),
+            Ev::Wake { instance } => self.on_wake(instance as usize, sched),
+            Ev::Finish { instance } => self.on_finish(instance as usize, sched),
             Ev::AckerScan => self.on_acker_scan(sched),
             Ev::CheckpointTimer => {
                 self.notify(sched, |c, ctl| c.on_checkpoint_timer(ctl));
@@ -1734,7 +1736,7 @@ impl Process<Ev> for EngineModel {
                 sched.after(interval, Ev::CheckpointTimer);
             }
             Ev::RebalanceDone => self.on_rebalance_done(sched),
-            Ev::WorkerReady { instance } => self.on_worker_ready(instance, sched),
+            Ev::WorkerReady { instance } => self.on_worker_ready(instance as usize, sched),
             Ev::ControlResend { kind } => {
                 self.notify(sched, |c, ctl| c.on_resend_timer(kind, ctl));
             }
@@ -1746,10 +1748,12 @@ impl Process<Ev> for EngineModel {
                 self.trace.record(TraceEvent::MigrationRequested { at: sched.now() });
                 self.notify(sched, |c, ctl| c.on_migration_requested(ctl));
             }
-            Ev::OutageStart { instance } => self.on_outage_start(instance, sched),
-            Ev::OutageEnd { instance } => self.on_outage_end(instance, sched),
-            Ev::ShardOutageStart { shard, down } => self.on_shard_outage_start(shard, down, sched),
-            Ev::ShardOutageEnd { shard } => self.on_shard_outage_end(shard, sched),
+            Ev::OutageStart { instance } => self.on_outage_start(instance as usize, sched),
+            Ev::OutageEnd { instance } => self.on_outage_end(instance as usize, sched),
+            Ev::ShardOutageStart { shard, down } => {
+                self.on_shard_outage_start(shard as usize, down as usize, sched)
+            }
+            Ev::ShardOutageEnd { shard } => self.on_shard_outage_end(shard as usize, sched),
         }
     }
 }
@@ -1809,10 +1813,13 @@ impl Engine {
         seed: u64,
     ) -> Self {
         let model = EngineModel::new(dag, instances, plan, config, protocol, coordinator, seed);
-        let mut sim = Simulation::new();
+        let mut sim = Simulation::with_backend(config.queue_backend);
         sim.set_budget(config.event_budget);
         for s in &model.sources {
-            sim.schedule(SimTime::ZERO + s.interval, Ev::SourceTick { instance: s.instance });
+            sim.schedule(
+                SimTime::ZERO + s.interval,
+                Ev::SourceTick { instance: s.instance as u32 },
+            );
         }
         if protocol.ack_user_events {
             sim.schedule(SimTime::ZERO + config.acker_scan_interval, Ev::AckerScan);
@@ -1850,8 +1857,8 @@ impl Engine {
     /// Failure injection: `instance` crashes at `at` (losing queue and
     /// state) and its worker recovers `downtime` later.
     pub fn schedule_outage(&mut self, instance: InstanceId, at: SimTime, downtime: SimDuration) {
-        self.sim.schedule(at, Ev::OutageStart { instance: instance.index() });
-        self.sim.schedule(at + downtime, Ev::OutageEnd { instance: instance.index() });
+        self.sim.schedule(at, Ev::OutageStart { instance: instance.index() as u32 });
+        self.sim.schedule(at + downtime, Ev::OutageEnd { instance: instance.index() as u32 });
     }
 
     /// Failure injection: every replica of store shard `shard` goes down
@@ -1878,14 +1885,22 @@ impl Engine {
         at: SimTime,
         downtime: SimDuration,
     ) {
-        self.sim.schedule(at, Ev::ShardOutageStart { shard, down });
-        self.sim.schedule(at + downtime, Ev::ShardOutageEnd { shard });
+        self.sim.schedule(at, Ev::ShardOutageStart { shard: shard as u32, down: down as u32 });
+        self.sim.schedule(at + downtime, Ev::ShardOutageEnd { shard: shard as u32 });
     }
 
     /// Runs until `horizon` (sources tick forever, so quiescence only
     /// happens on an empty dataflow).
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
-        self.sim.run_until(&mut self.model, horizon)
+        let outcome = self.sim.run_until(&mut self.model, horizon);
+        // Mirror the driver's counters into the run stats so callers see
+        // dispatch throughput and queue behaviour next to the engine's own
+        // counters.
+        self.model.stats.sim_events = self.sim.processed();
+        self.model.stats.queue_peak_pending = self.sim.queue_peak_pending() as u64;
+        self.model.stats.queue_rotations = self.sim.queue_rotations();
+        self.model.stats.sched_clamped_past = self.sim.clamped_past_schedules();
+        outcome
     }
 
     /// Current virtual time.

@@ -54,18 +54,25 @@ pub enum QueueItem {
 }
 
 /// Internal DES events driving the engine.
+///
+/// Index-carrying variants use `u32` (instance/shard counts are bounded far
+/// below 4 billion): keeping the whole enum within the size of its hottest
+/// variant (`Deliver`) shrinks the future-event list's per-entry footprint,
+/// which is most of the dispatch path's cache traffic at 10k-instance
+/// scale. The compile-time assertion below trips if a future variant
+/// outgrows that budget — box the oversized payload instead.
 #[derive(Debug, Clone)]
 pub(crate) enum Ev {
     /// A source instance generates its next root event.
-    SourceTick { instance: usize },
+    SourceTick { instance: u32 },
     /// A source instance drains one backlogged event.
-    SourceDrain { instance: usize },
+    SourceDrain { instance: u32 },
     /// Network delivery of an item to an instance's input queue.
-    Deliver { to: usize, item: QueueItem },
+    Deliver { to: u32, item: QueueItem },
     /// An idle instance checks its input queue.
-    Wake { instance: usize },
+    Wake { instance: u32 },
     /// An instance finishes its current work item.
-    Finish { instance: usize },
+    Finish { instance: u32 },
     /// Periodic acker timeout scan.
     AckerScan,
     /// Periodic checkpoint trigger (DSM).
@@ -73,7 +80,7 @@ pub(crate) enum Ev {
     /// Storm's rebalance command completes.
     RebalanceDone,
     /// A respawned worker becomes ready.
-    WorkerReady { instance: usize },
+    WorkerReady { instance: u32 },
     /// A control wave resend timer fired.
     ControlResend { kind: ControlKind },
     /// The user's migration request arrives.
@@ -81,14 +88,19 @@ pub(crate) enum Ev {
     /// A strategy-armed timer fired (token chosen by the coordinator).
     StrategyTimer { token: u32 },
     /// Failure injection: instance becomes unresponsive.
-    OutageStart { instance: usize },
+    OutageStart { instance: u32 },
     /// Failure injection: instance recovers.
-    OutageEnd { instance: usize },
-    /// Failure injection: `down` replicas of a store shard fail.
-    ShardOutageStart { shard: usize, down: usize },
+    OutageEnd { instance: u32 },
+    /// Failure injection: `down` replicas of a store shard fail
+    /// (`u32::MAX` = every replica).
+    ShardOutageStart { shard: u32, down: u32 },
     /// Failure injection: every replica of a store shard recovers.
-    ShardOutageEnd { shard: usize },
+    ShardOutageEnd { shard: u32 },
 }
+
+// `Deliver` (u32 + 40-byte QueueItem) sets the 48-byte budget; a variant
+// pushing the enum past it would bloat every queue entry.
+const _: () = assert!(std::mem::size_of::<Ev>() <= 48, "Ev outgrew Deliver: box the new payload");
 
 #[cfg(test)]
 mod tests {

@@ -7,7 +7,7 @@
 //! [`EventQueue`](crate::EventQueue) and [`SimRng`](crate::SimRng) — makes
 //! runs bit-reproducible.
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, QueueBackend};
 use crate::time::{SimDuration, SimTime};
 
 /// Handle through which a [`Process`] schedules follow-up events.
@@ -15,6 +15,7 @@ use crate::time::{SimDuration, SimTime};
 pub struct Scheduler<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
+    clamped_past: &'a mut u64,
 }
 
 impl<'a, E> Scheduler<'a, E> {
@@ -50,8 +51,14 @@ impl<'a, E> Scheduler<'a, E> {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `at` is in the past; release builds clamp.
+    /// Panics in debug builds if `at` is in the past; release builds clamp
+    /// and count the clamp in
+    /// [`Simulation::clamped_past_schedules`], so production runs can
+    /// detect the scheduling bug a debug build would have panicked on.
     pub fn at(&mut self, at: SimTime, event: E) {
+        if at < self.now {
+            *self.clamped_past += 1;
+        }
         debug_assert!(at >= self.now, "cannot schedule into the past");
         self.queue.schedule(at.max(self.now), event);
     }
@@ -112,6 +119,7 @@ pub struct Simulation<E> {
     now: SimTime,
     processed: u64,
     budget: u64,
+    clamped_past: u64,
 }
 
 impl<E> Default for Simulation<E> {
@@ -125,14 +133,29 @@ impl<E> Simulation<E> {
     /// small enough to catch accidental event storms in tests.
     pub const DEFAULT_BUDGET: u64 = 200_000_000;
 
-    /// Creates an idle simulation at time zero.
+    /// Creates an idle simulation at time zero on the default
+    /// ([`QueueBackend::Heap`]) future-event list.
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// Creates an idle simulation at time zero on the given future-event
+    /// list backend. Backends are order-identical (see the "Backend
+    /// selection" section of the [crate docs](crate)), so this is purely
+    /// a performance knob.
+    pub fn with_backend(backend: QueueBackend) -> Self {
         Simulation {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(backend),
             now: SimTime::ZERO,
             processed: 0,
             budget: Self::DEFAULT_BUDGET,
+            clamped_past: 0,
         }
+    }
+
+    /// The future-event-list backend this simulation runs on.
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.queue.backend()
     }
 
     /// Caps the number of events a single `run_until` may process.
@@ -155,21 +178,42 @@ impl<E> Simulation<E> {
         self.queue.len()
     }
 
+    /// High-water mark of pending events over the simulation's lifetime.
+    pub fn queue_peak_pending(&self) -> usize {
+        self.queue.peak_pending()
+    }
+
+    /// Lookahead-window rotations performed by the calendar backend
+    /// (always `0` under [`QueueBackend::Heap`]).
+    pub fn queue_rotations(&self) -> u64 {
+        self.queue.rotations()
+    }
+
+    /// Number of past-instant [`Scheduler::at`] calls that were clamped to
+    /// `now` (release builds only — debug builds panic instead). Nonzero
+    /// means a model scheduled into the past: a bug, but one the clamp
+    /// keeps from corrupting pop order.
+    pub fn clamped_past_schedules(&self) -> u64 {
+        self.clamped_past
+    }
+
     /// Schedules an initial or external event.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         self.queue.schedule(at, event);
     }
 
     /// Runs the model until `horizon` (inclusive), the queue drains, or the
-    /// event budget is exhausted. Time never advances beyond `horizon`.
+    /// event budget is exhausted. Time never advances beyond `horizon` —
+    /// and never moves backwards: a horizon earlier than the current clock
+    /// leaves `now` untouched.
     ///
     /// Dispatch is batched: all events due at one instant are drained from
     /// the future-event list in a single [`EventQueue::pop_due`] call and
-    /// handled back to back, so the heap is not re-touched between
-    /// same-instant events. Events a handler schedules *at* the current
-    /// instant join the next batch of the same instant (they carry higher
-    /// sequence numbers), which preserves the exact event order of
-    /// one-at-a-time dispatch.
+    /// handled back to back through one hoisted [`Scheduler`], so the
+    /// backend is not re-touched between same-instant events. Events a
+    /// handler schedules *at* the current instant join the next batch of
+    /// the same instant (they carry higher sequence numbers), which
+    /// preserves the exact event order of one-at-a-time dispatch.
     pub fn run_until<P: Process<E>>(&mut self, model: &mut P, horizon: SimTime) -> RunOutcome {
         let mut spent: u64 = 0;
         // One buffer reused across instants: single-event instants (the
@@ -180,7 +224,9 @@ impl<E> Simulation<E> {
             let t = match self.queue.peek_time() {
                 None => return RunOutcome::Quiescent,
                 Some(t) if t > horizon => {
-                    self.now = horizon;
+                    // Clamp, don't assign: a horizon already behind the
+                    // clock must not rewind virtual time.
+                    self.now = self.now.max(horizon);
                     return RunOutcome::HorizonReached;
                 }
                 Some(t) => t,
@@ -193,12 +239,19 @@ impl<E> Simulation<E> {
             let remaining = usize::try_from(self.budget - spent).unwrap_or(usize::MAX);
             self.queue.pop_due_capped_into(t, remaining, &mut batch);
             debug_assert!(!batch.is_empty(), "peeked entry vanished");
+            // The batch length is bounded by the remaining budget, so
+            // counting it wholesale is equivalent to per-event increments.
+            let dispatched = batch.len() as u64;
+            let mut sched = Scheduler {
+                now: self.now,
+                queue: &mut self.queue,
+                clamped_past: &mut self.clamped_past,
+            };
             for (_, event) in batch.drain(..) {
-                let mut sched = Scheduler { now: self.now, queue: &mut self.queue };
                 model.handle(event, &mut sched);
-                self.processed += 1;
-                spent += 1;
             }
+            self.processed += dispatched;
+            spent += dispatched;
         }
     }
 }
@@ -331,6 +384,7 @@ mod tests {
         assert_eq!(sim.run_until(&mut model, SimTime::from_secs(1)), RunOutcome::Quiescent);
         assert_eq!(model.fired_at, vec![5_000], "clamped to the scheduling instant");
         assert_eq!(sim.now(), SimTime::from_millis(5));
+        assert_eq!(sim.clamped_past_schedules(), 1, "the silent clamp is counted");
     }
 
     #[test]
@@ -348,6 +402,48 @@ mod tests {
         sim.schedule(SimTime::from_millis(2), Ev::Chain(0));
         sim.run_until(&mut AtFuture, SimTime::from_secs(1));
         assert_eq!(sim.now(), SimTime::from_millis(9));
+    }
+
+    #[test]
+    fn horizon_in_the_past_does_not_rewind_the_clock() {
+        // Regression: `run_until` with a horizon earlier than `now` used to
+        // assign `now = horizon`, moving virtual time backwards.
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_millis(50), Ev::Emit(1));
+        sim.schedule(SimTime::from_secs(100), Ev::Emit(2));
+        let mut model = Recorder::default();
+        sim.run_until(&mut model, SimTime::from_secs(1));
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        // An earlier (already-passed) horizon must be a no-op on the clock.
+        assert_eq!(sim.run_until(&mut model, SimTime::from_millis(10)), RunOutcome::HorizonReached);
+        assert_eq!(sim.now(), SimTime::from_secs(1), "clock must never move backwards");
+        assert_eq!(model.seen.len(), 1, "no event re-dispatch either");
+    }
+
+    #[test]
+    fn legitimate_runs_report_zero_clamped_schedules() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::ZERO, Ev::Chain(4));
+        sim.run_until(&mut Recorder::default(), SimTime::from_secs(1));
+        assert_eq!(sim.clamped_past_schedules(), 0);
+    }
+
+    #[test]
+    fn calendar_backend_runs_models_identically() {
+        // The same chained model on both backends: identical event count,
+        // identical final clock, identical observations.
+        let run = |backend: QueueBackend| {
+            let mut sim = Simulation::with_backend(backend);
+            assert_eq!(sim.queue_backend(), backend);
+            sim.schedule(SimTime::ZERO, Ev::Chain(300));
+            sim.schedule(SimTime::from_secs(2), Ev::Emit(7));
+            let mut model = Recorder::default();
+            let outcome = sim.run_until(&mut model, SimTime::from_secs(10));
+            (outcome, sim.now(), sim.processed(), model.seen)
+        };
+        let heap = run(QueueBackend::Heap);
+        let calendar = run(QueueBackend::Calendar);
+        assert_eq!(heap, calendar);
     }
 
     #[test]

@@ -16,6 +16,27 @@
 //! a pure function of its seed: re-running an experiment with the same seed
 //! reproduces every queue length, timeout and replay decision exactly.
 //!
+//! # Backend selection
+//!
+//! The future-event list has two interchangeable backends, chosen with
+//! [`QueueBackend`] via [`EventQueue::with_backend`] /
+//! [`Simulation::with_backend`]:
+//!
+//! * **`Heap`** (default) — a binary heap; `O(log n)` everywhere, no
+//!   tuning, robust to arbitrary timestamp distributions.
+//! * **`Calendar`** — a two-tier calendar queue (near-term bucket ring +
+//!   sorted far-future overflow tier); `O(1)` amortized for the dense
+//!   near-term traffic DES workloads are made of, and several times faster
+//!   than the heap at 100k+ pending events.
+//!
+//! **Semantics guarantee:** both backends pop in identical `(due, seq)`
+//! order for *any* interleaving of schedules and pops, so traces, stats and
+//! seeds are backend-independent — switching backends can never change a
+//! result, only how fast it arrives. Pick `Calendar` for large simulations
+//! (thousands of instances, 100k+ pending events); stick with `Heap` for
+//! small models or when timestamps are adversarially far-flung (each window
+//! rotation pays a sort of the overflow tier).
+//!
 //! # Examples
 //!
 //! ```
@@ -48,6 +69,6 @@ mod rng;
 mod time;
 
 pub use executor::{Process, RunOutcome, Scheduler, Simulation};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueBackend, CALENDAR_BUCKETS, CALENDAR_BUCKET_MICROS};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -9,7 +9,7 @@
 //!           [--shard-outage SHARD:AT_SECS:DOWN_SECS]
 //!           [--key-skew PARTITIONS:EXPONENT] [--scope all|hot|hot:PERMILLE]
 //!           [--no-wave-timeout] [--transport-buffer N]
-//!           [--csv throughput|latency]
+//!           [--queue-backend heap|calendar] [--csv throughput|latency]
 //! ```
 //!
 //! Prints the §4 metrics for one run of the paper's protocol, or a CSV
@@ -39,6 +39,7 @@ struct Args {
     scope: Option<u16>,
     no_wave_timeout: bool,
     transport_buffer: Option<usize>,
+    queue_backend: Option<QueueBackend>,
     csv: Option<String>,
 }
 
@@ -57,6 +58,7 @@ fn usage() -> ExitCode {
          [--scope all|hot|hot:PERMILLE (ccr-key-range hot-weight target; all = 1000)] \
          [--no-wave-timeout (ccr-key-range: wait out saturated hot owners)] \
          [--transport-buffer N (channel rerouting buffer slots)] \
+         [--queue-backend heap|calendar (future-event list; identical results, different speed)] \
          [--csv throughput|latency]\n\nstrategies:",
         names.join("|")
     );
@@ -84,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
         scope: None,
         no_wave_timeout: false,
         transport_buffer: None,
+        queue_backend: None,
         csv: None,
     };
     let mut it = std::env::args().skip(1);
@@ -188,6 +191,9 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.transport_buffer = Some(n);
             }
+            "--queue-backend" => {
+                args.queue_backend = Some(value()?.parse().map_err(|e: String| e)?)
+            }
             "--csv" => args.csv = Some(value()?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
@@ -246,6 +252,9 @@ fn main() -> ExitCode {
     if let Some(slots) = args.transport_buffer {
         let config = EngineConfig { transport_buffer: slots, ..EngineConfig::default() };
         controller = controller.with_engine_config(config);
+    }
+    if let Some(backend) = args.queue_backend {
+        controller = controller.with_queue_backend(backend);
     }
     if args.store_queueing {
         controller = controller.with_store_service(StoreServiceModel::FifoPerShard);
@@ -336,6 +345,10 @@ fn main() -> ExitCode {
         args.horizon_secs
     );
     println!("  completed:     {}", outcome.completed);
+    println!(
+        "  dispatch:      {} sim events (peak {} pending, {} window rotations)",
+        outcome.stats.sim_events, outcome.stats.queue_peak_pending, outcome.stats.queue_rotations
+    );
     println!("  metrics:       {}", outcome.metrics);
     println!(
         "  reliability:   {} dropped, {} roots replayed, {} captured",

@@ -73,7 +73,7 @@ pub mod prelude {
         find_stabilization, latency_samples_ms, percentile, LatencyTimeline, MigrationMetrics,
         MigrationPhase, RateTimeline, StabilityCriteria, Summary, TraceEvent, TraceLog,
     };
-    pub use flowmig_sim::{SimDuration, SimTime};
+    pub use flowmig_sim::{QueueBackend, SimDuration, SimTime};
     pub use flowmig_topology::{
         library, Dataflow, DataflowBuilder, InstanceSet, RatePlan, TaskId, TaskKind, TaskSpec,
     };

@@ -138,25 +138,26 @@ fn parallel_commit_completes_strictly_earlier_than_sequential_on_wide_grid() {
 /// dd3bd8d with exactly this harness (seed 7, request 60 s, horizon
 /// 300 s, scale-in). The plan-driven strategies must reproduce them
 /// byte for byte.
+const PR3_BASELINE: [(&str, &str, u64); 15] = [
+    ("DSM", "linear", 0x4ae570fce7021224),
+    ("DSM", "diamond", 0x1d91426f34143494),
+    ("DSM", "star", 0xa1e2289ca471cd33),
+    ("DSM", "grid", 0x502cbdb7dbc9a4b2),
+    ("DSM", "traffic", 0xcebaba46a5d8ec5c),
+    ("DCR", "linear", 0x071afb70a0b615fe),
+    ("DCR", "diamond", 0x90cbe75417178e0a),
+    ("DCR", "star", 0x08b6a5197cfed7a1),
+    ("DCR", "grid", 0xa9e183f453d6914f),
+    ("DCR", "traffic", 0x38841e336ee458c8),
+    ("CCR", "linear", 0x144eb0b9e14dc0e2),
+    ("CCR", "diamond", 0xc6bed943c2dfe274),
+    ("CCR", "star", 0x9a084492ed2e564f),
+    ("CCR", "grid", 0x0ba42c8d0f23f446),
+    ("CCR", "traffic", 0xecc5e6bdbbe7ce20),
+];
+
 #[test]
 fn plan_driven_strategies_reproduce_the_hardcoded_coordinator_traces() {
-    const PR3_BASELINE: [(&str, &str, u64); 15] = [
-        ("DSM", "linear", 0x4ae570fce7021224),
-        ("DSM", "diamond", 0x1d91426f34143494),
-        ("DSM", "star", 0xa1e2289ca471cd33),
-        ("DSM", "grid", 0x502cbdb7dbc9a4b2),
-        ("DSM", "traffic", 0xcebaba46a5d8ec5c),
-        ("DCR", "linear", 0x071afb70a0b615fe),
-        ("DCR", "diamond", 0x90cbe75417178e0a),
-        ("DCR", "star", 0x08b6a5197cfed7a1),
-        ("DCR", "grid", 0xa9e183f453d6914f),
-        ("DCR", "traffic", 0x38841e336ee458c8),
-        ("CCR", "linear", 0x144eb0b9e14dc0e2),
-        ("CCR", "diamond", 0xc6bed943c2dfe274),
-        ("CCR", "star", 0x9a084492ed2e564f),
-        ("CCR", "grid", 0x0ba42c8d0f23f446),
-        ("CCR", "traffic", 0xecc5e6bdbbe7ce20),
-    ];
     let mut checked = 0;
     for strategy in strategies() {
         for dag in dags() {
@@ -415,6 +416,43 @@ fn skewed_grid_key_range_timeline_is_pinned() {
     assert!(first.stats.state_bytes_resident > 0, "cold state stayed resident");
     let hash = trace_hash(&first.trace);
     assert_eq!(hash, PINNED, "skewed-grid CCR-KR timeline drifted; actual {hash:#018x}");
+}
+
+/// The calendar queue backend must be *provably order-identical* to the
+/// heap: the same 5-DAG x 3-strategy matrix, run under
+/// `QueueBackend::Calendar`, must reproduce the PR 3 pinned hashes byte
+/// for byte. Combined with the backend-equivalence proptest this is the
+/// proof that backend choice is purely a performance knob.
+#[test]
+fn calendar_backend_reproduces_every_default_pin() {
+    let mut mismatches = Vec::new();
+    for strategy in strategies() {
+        for dag in dags() {
+            let out = controller(7)
+                .with_queue_backend(QueueBackend::Calendar)
+                .run(&dag, strategy.as_ref(), ScaleDirection::In)
+                .expect("paper scenario placeable");
+            let pinned = PR3_BASELINE
+                .iter()
+                .find(|(s, d, _)| *s == out.strategy && *d == dag.name())
+                .unwrap_or_else(|| panic!("no baseline for {} on {}", out.strategy, dag.name()));
+            let hash = trace_hash(&out.trace);
+            if hash != pinned.2 {
+                mismatches.push(format!(
+                    "{} on {}: {hash:#018x} != pinned {:#018x}",
+                    out.strategy,
+                    dag.name(),
+                    pinned.2
+                ));
+            }
+            assert!(out.stats.queue_peak_pending > 0, "the calendar run actually queued events");
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "calendar backend diverged from the heap-pinned timelines:\n{}",
+        mismatches.join("\n")
+    );
 }
 
 #[test]
