@@ -805,13 +805,33 @@ fn main() {
             );
             std::process::exit(1);
         }
+        // Throughput tripwire (dispatch-model flattening): each 10k-instance
+        // row must sustain >= 2x the flat-dispatch baseline measured before
+        // the routing tables and the O(1) assignment build landed
+        // (~0.44 M ev/s on either backend), or the dispatch path has
+        // regressed back toward per-event map lookups.
+        const BASELINE_EPS: f64 = 0.44e6;
+        for cell in [heap, cal] {
+            let eps = cell.events_per_sec();
+            if eps < 2.0 * BASELINE_EPS {
+                eprintln!(
+                    "THROUGHPUT REGRESSION: {} backend sustains {:.2}M ev/s at 10k instances, \
+                     below 2x the {:.2}M ev/s flat-dispatch baseline",
+                    cell.backend,
+                    eps / 1e6,
+                    BASELINE_EPS / 1e6,
+                );
+                std::process::exit(1);
+            }
+        }
     }
     println!(
         "shape checks passed: parallel COMMIT beats sequential at {} instances, >=3x total \
          at 96/8, 1-shard contention binds under the fifo store, quorum-2 persists beat the \
          full-replica wait, a mid-COMMIT shard outage aborts through ROLLBACK, key-range \
          scope is >=2x faster while moving <25% of state bytes on the skewed grid, and the \
-         calendar backend reproduces the heap's 10k-instance run bit-for-bit",
+         calendar backend reproduces the heap's 10k-instance run bit-for-bit at >=2x the \
+         pre-flattening host throughput",
         16 * widest
     );
 }

@@ -19,8 +19,36 @@ use std::collections::{HashMap, HashSet};
 /// assert_eq!(a.slot_of(i0).unwrap().vm, VmId::from_index(1));
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(from = "AssignmentSerde", into = "AssignmentSerde")]
 pub struct Assignment {
     slots: HashMap<InstanceId, SlotId>,
+    /// Slots currently holding an instance — the O(1) exclusivity check
+    /// [`place`](Self::place) runs per placement. Kept in lockstep with
+    /// `slots` (a full scan per `place` made building a 10k-instance
+    /// assignment quadratic).
+    occupied: HashSet<SlotId>,
+}
+
+/// Serde shadow of [`Assignment`]: only the instance→slot map is
+/// persisted (the occupied set is derived), keeping the serialized form
+/// identical to the pre-`occupied` layout.
+#[derive(Serialize, Deserialize)]
+#[serde(rename = "Assignment")]
+struct AssignmentSerde {
+    slots: HashMap<InstanceId, SlotId>,
+}
+
+impl From<AssignmentSerde> for Assignment {
+    fn from(s: AssignmentSerde) -> Self {
+        let occupied = s.slots.values().copied().collect();
+        Assignment { slots: s.slots, occupied }
+    }
+}
+
+impl From<Assignment> for AssignmentSerde {
+    fn from(a: Assignment) -> Self {
+        AssignmentSerde { slots: a.slots }
+    }
 }
 
 impl Assignment {
@@ -36,11 +64,15 @@ impl Assignment {
     /// Panics if another instance already occupies `slot` (slots are
     /// exclusive: one instance per 1-core slot).
     pub fn place(&mut self, instance: InstanceId, slot: SlotId) -> Option<SlotId> {
-        assert!(
-            !self.slots.iter().any(|(&i, &s)| s == slot && i != instance),
-            "slot {slot} is already occupied"
-        );
-        self.slots.insert(instance, slot)
+        let prev = self.slots.insert(instance, slot);
+        if let Some(p) = prev {
+            if p == slot {
+                return prev;
+            }
+            self.occupied.remove(&p);
+        }
+        assert!(self.occupied.insert(slot), "slot {slot} is already occupied");
+        prev
     }
 
     /// The slot hosting `instance`, if assigned.

@@ -15,9 +15,10 @@
 //! forgotten, or was re-registered in the meantime are dropped lazily when
 //! their bucket comes due.
 
+use crate::fasthash::FastHashMap;
 use flowmig_metrics::RootId;
 use flowmig_sim::{SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Number of wheel buckets per timeout span: buckets are `timeout / 64`
 /// wide, coarse enough to keep the `BTreeMap` tiny and fine enough that an
@@ -62,7 +63,7 @@ struct Ledger {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Acker {
-    ledgers: HashMap<RootId, Ledger>,
+    ledgers: FastHashMap<RootId, Ledger>,
     timeout: SimDuration,
     /// Expiry wheel: bucket index (`deadline / bucket_width`) → roots whose
     /// deadline falls in that bucket, tagged with the exact deadline so
@@ -76,7 +77,7 @@ impl Acker {
     /// Creates an acker with the given tree timeout.
     pub fn new(timeout: SimDuration) -> Self {
         let bucket_width = (timeout.as_micros() / BUCKETS_PER_TIMEOUT).max(1);
-        Acker { ledgers: HashMap::new(), timeout, wheel: BTreeMap::new(), bucket_width }
+        Acker { ledgers: FastHashMap::default(), timeout, wheel: BTreeMap::new(), bucket_width }
     }
 
     /// Registers a new root whose initial tuple ids XOR to `xor`

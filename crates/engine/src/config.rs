@@ -20,6 +20,11 @@
 //! ([`EngineConfig::derived_fan_out`]) an actual fairness bound rather
 //! than bookkeeping: over-wide windows now queue, and shard-count sweeps
 //! produce contention curves instead of flat lines.
+//!
+//! These constants price *when* things happen. The flat routing state
+//! that decides *where* each event goes — and why none of it is looked
+//! up per event — is the crate-level "Dispatch model" section
+//! ([`crate`]).
 
 use flowmig_sim::{QueueBackend, SimDuration, SimRng};
 use serde::{Deserialize, Serialize};

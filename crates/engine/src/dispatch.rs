@@ -1,0 +1,295 @@
+//! Flat dispatch state: dense per-instance metadata, routing tables, and
+//! the rebalance-scope bitset.
+//!
+//! Everything the hot event paths (`emit_root`, `route`, `on_deliver`,
+//! `on_wake`, `finish_data`, `forward_control`) used to resolve through
+//! `instances.task_of(..)` + `dag.spec(..)` + `of_task(..)` +
+//! `assignment.vm_of(..)` chains is resolved once here, per
+//! (re)configuration. [`DispatchTables::build`] runs at engine
+//! construction and again from `on_rebalance_done` — the only points
+//! where the assignment flips or staged logic updates mutate the DAG —
+//! so the per-event cost drops to array indexing.
+
+use crate::instance::InstanceRuntime;
+use flowmig_cluster::{Assignment, VmId};
+use flowmig_sim::SimDuration;
+use flowmig_topology::{
+    Dataflow, EdgeTable, EdgeTargets, InstanceId, InstanceSet, KeyPartitioner, TaskId, TaskKind,
+};
+
+/// Per-instance metadata resolved once per configuration: everything a
+/// hot path needs about an instance without touching the DAG or the
+/// instance set.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InstanceMeta {
+    /// Owning task.
+    pub task: TaskId,
+    /// Task kind (source/operator/sink).
+    pub kind: TaskKind,
+    /// Per-event service time of the owning task.
+    pub latency: SimDuration,
+    /// Output events per input event, per out-edge.
+    pub selectivity: f64,
+    /// Whether the owning task routes by key partition.
+    pub keyed: bool,
+    /// Key partitions of the owning task (1 = unkeyed).
+    pub key_partitions: u32,
+    /// Store shard serving this instance (`index % shard_count`).
+    pub store_shard: u32,
+    /// Replica slot of this instance within its task (0-based).
+    pub slot: u32,
+    /// Total replicas of the owning task.
+    pub task_replicas: u32,
+}
+
+/// The flat dispatch tables of one engine configuration.
+#[derive(Debug, Clone)]
+pub(crate) struct DispatchTables {
+    meta: Vec<InstanceMeta>,
+    edges: EdgeTable,
+    /// Per task: the precomputed key-partition thresholds (`None` for
+    /// unkeyed tasks).
+    partitioners: Vec<Option<KeyPartitioner>>,
+    /// Per instance: hosting VM under the *current* assignment. Rebuilt
+    /// when `on_target` flips.
+    vm: Vec<Option<VmId>>,
+}
+
+impl DispatchTables {
+    /// Builds every table from the current dataflow, instance expansion,
+    /// and assignment. O(tasks + edges + instances).
+    pub fn build(
+        dag: &Dataflow,
+        instances: &InstanceSet,
+        assignment: &Assignment,
+        shard_count: usize,
+    ) -> Self {
+        let n = instances.len();
+        let mut meta = Vec::with_capacity(n);
+        let mut vm = Vec::with_capacity(n);
+        for i in 0..n {
+            let iid = InstanceId::from_index(i);
+            let task = instances.task_of(iid);
+            let spec = dag.spec(task);
+            meta.push(InstanceMeta {
+                task,
+                kind: spec.kind(),
+                latency: spec.latency(),
+                selectivity: spec.selectivity(),
+                keyed: spec.is_keyed(),
+                key_partitions: spec.key_partitions(),
+                store_shard: (i % shard_count) as u32,
+                slot: u32::from(instances.replica_of(iid)),
+                task_replicas: instances.of_task(task).len() as u32,
+            });
+            vm.push(assignment.vm_of(iid));
+        }
+        let partitioners = dag
+            .task_ids()
+            .map(|t| {
+                let spec = dag.spec(t);
+                spec.is_keyed().then(|| KeyPartitioner::of(spec))
+            })
+            .collect();
+        DispatchTables { meta, edges: EdgeTable::build(dag, instances), partitioners, vm }
+    }
+
+    /// Metadata of instance `i`.
+    #[inline]
+    pub fn meta(&self, i: usize) -> &InstanceMeta {
+        &self.meta[i]
+    }
+
+    /// Hosting VM of instance `i` under the current assignment.
+    #[inline]
+    pub fn vm(&self, i: usize) -> Option<VmId> {
+        self.vm[i]
+    }
+
+    /// Out-degree of `task`.
+    #[inline]
+    pub fn out_degree(&self, task: TaskId) -> usize {
+        self.edges.out_degree(task)
+    }
+
+    /// One out-edge of `task`: downstream task, keyed-ness, dense targets.
+    #[inline]
+    pub fn edge(&self, task: TaskId, edge: usize) -> &EdgeTargets {
+        self.edges.edge(task, edge)
+    }
+
+    /// Key partition of `hash` under `task`'s key space (0 for unkeyed
+    /// tasks) — bitwise-identical to `dag.spec(task).partition_of(hash)`.
+    #[inline]
+    pub fn partition_of(&self, task: TaskId, hash: u64) -> u32 {
+        self.partitioners[task.index()].as_ref().map_or(0, |p| p.partition_of(hash))
+    }
+
+    /// Whether every table entry still agrees with the dynamic lookups it
+    /// replaces — the staleness oracle for tests and debug assertions.
+    pub fn agrees_with(
+        &self,
+        dag: &Dataflow,
+        instances: &InstanceSet,
+        assignment: &Assignment,
+        shard_count: usize,
+    ) -> bool {
+        if self.meta.len() != instances.len() || self.vm.len() != instances.len() {
+            return false;
+        }
+        for i in 0..instances.len() {
+            let iid = InstanceId::from_index(i);
+            let task = instances.task_of(iid);
+            let spec = dag.spec(task);
+            let m = &self.meta[i];
+            let ok = m.task == task
+                && m.kind == spec.kind()
+                && m.latency == spec.latency()
+                && m.selectivity == spec.selectivity()
+                && m.keyed == spec.is_keyed()
+                && m.key_partitions == spec.key_partitions()
+                && m.store_shard as usize == i % shard_count
+                && m.slot == u32::from(instances.replica_of(iid))
+                && m.task_replicas as usize == instances.of_task(task).len()
+                && self.vm[i] == assignment.vm_of(iid);
+            if !ok {
+                return false;
+            }
+        }
+        for task in dag.task_ids() {
+            let downstream = dag.downstream(task);
+            if self.edges.out_degree(task) != downstream.len() {
+                return false;
+            }
+            for (edge, &dtask) in downstream.iter().enumerate() {
+                let et = self.edges.edge(task, edge);
+                let targets: Vec<u32> =
+                    instances.of_task(dtask).iter().map(|i| i.index() as u32).collect();
+                if et.dtask != dtask
+                    || et.keyed != dag.spec(dtask).is_keyed()
+                    || et.targets != targets
+                {
+                    return false;
+                }
+            }
+            let spec = dag.spec(task);
+            let p = &self.partitioners[task.index()];
+            if p.is_some() != spec.is_keyed() {
+                return false;
+            }
+            if let Some(p) = p {
+                // Spot-check the threshold table against the dynamic walk.
+                let mut h = 0x9E37_79B9_7F4A_7C15u64;
+                for _ in 0..64 {
+                    if p.partition_of(h) != spec.partition_of(h) {
+                        return false;
+                    }
+                    h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether each runtime's round-robin cursor array still matches its
+    /// task's out-degree (a stale table would desynchronize them).
+    pub fn cursors_consistent(&self, runtimes: &[InstanceRuntime]) -> bool {
+        runtimes.len() == self.meta.len()
+            && runtimes
+                .iter()
+                .zip(&self.meta)
+                .all(|(rt, m)| rt.rr.len() == self.edges.out_degree(m.task))
+    }
+}
+
+/// A fixed-capacity bitset over dense instance indices — O(1) membership
+/// for the per-delivery rebalance-scope check that used to walk the scope
+/// `Vec` on every delivered event.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InstanceBitset {
+    words: Vec<u64>,
+}
+
+impl InstanceBitset {
+    /// An empty bitset sized for `n` instances.
+    pub fn with_capacity(n: usize) -> Self {
+        InstanceBitset { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Marks instance `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether instance `i` is marked.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Clears every mark (capacity retained).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Whether no instance is marked.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowmig_cluster::{ScaleDirection, ScalePlan};
+    use flowmig_topology::library;
+
+    #[test]
+    fn tables_agree_with_dynamic_lookups_on_the_paper_dags() {
+        for dag in [
+            library::linear(),
+            library::diamond(),
+            library::star(),
+            library::grid(),
+            library::traffic(),
+        ] {
+            let instances = InstanceSet::plan(&dag);
+            let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).unwrap();
+            for assignment in [plan.initial(), plan.target()] {
+                let t = DispatchTables::build(&dag, &instances, assignment, 8);
+                assert!(t.agrees_with(&dag, &instances, assignment, 8), "{}", dag.name());
+            }
+        }
+    }
+
+    #[test]
+    fn stale_tables_are_detected() {
+        let dag = library::linear();
+        let instances = InstanceSet::plan(&dag);
+        let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).unwrap();
+        let t = DispatchTables::build(&dag, &instances, plan.initial(), 8);
+        // Same tables against the flipped assignment: the VM column is
+        // stale unless initial == target (paper scenarios always move
+        // instances).
+        assert!(!t.agrees_with(&dag, &instances, plan.target(), 8));
+        // Wrong shard count: store_shard column is stale.
+        assert!(!t.agrees_with(&dag, &instances, plan.initial(), 3));
+    }
+
+    #[test]
+    fn bitset_inserts_and_clears() {
+        let mut b = InstanceBitset::with_capacity(200);
+        assert!(b.is_empty());
+        for i in [0usize, 63, 64, 127, 199] {
+            assert!(!b.contains(i));
+            b.insert(i);
+            assert!(b.contains(i));
+        }
+        assert!(!b.contains(1));
+        assert!(!b.contains(128));
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!b.contains(63));
+    }
+}

@@ -8,7 +8,9 @@
 
 use crate::acker::{AckOutcome, Acker};
 use crate::config::EngineConfig;
+use crate::dispatch::{DispatchTables, InstanceBitset};
 use crate::event::{ControlEvent, ControlSender, DataEvent, Ev, QueueItem};
+use crate::fasthash::FastHashMap;
 use crate::instance::{InstanceRuntime, Work, WorkerStatus};
 use crate::protocol::{
     InstanceScope, MigrationCoordinator, ProtocolConfig, WaveDiscipline, WaveRouting, WaveScope,
@@ -111,9 +113,18 @@ pub struct EngineModel {
     on_target: bool,
     runtimes: Vec<InstanceRuntime>,
     sources: Vec<SourceState>,
-    source_of: HashMap<usize, usize>,
+    /// Dense instance index → index into `sources` (`u32::MAX` = not a
+    /// ticking source).
+    source_of: Vec<u32>,
+    /// Flat dispatch tables (per-instance metadata, edge targets, key
+    /// partitioners, VM column); rebuilt on rebalance completion. See the
+    /// crate-level "Dispatch model" section.
+    tables: DispatchTables,
+    /// O(1) membership of the installed rebalance scope, for the
+    /// per-delivery mid-respawn check; cleared on rebalance completion.
+    respawning: InstanceBitset,
     acker: Acker,
-    cache: HashMap<RootId, CachedRoot>,
+    cache: FastHashMap<RootId, CachedRoot>,
     /// In-flight (registered, unacked) root count per source — the
     /// per-spout ledger behind `max.spout.pending` gating.
     in_flight: Vec<usize>,
@@ -128,18 +139,19 @@ pub struct EngineModel {
     rebalance_done_at: Option<SimTime>,
 
     staged_updates: Vec<(TaskId, flowmig_topology::TaskSpec)>,
-    next_wave: HashMap<ControlKind, u32>,
-    wave_routing: HashMap<ControlKind, WaveRouting>,
+    // Per-kind wave bookkeeping, indexed by `ControlKind::index()`.
+    next_wave: [u32; ControlKind::COUNT],
+    wave_routing: [Option<WaveRouting>; ControlKind::COUNT],
     /// Per-kind, per-store-shard queues of instances a parallel wave has
     /// not yet reached: the bounded fan-out window of each shard advances
     /// from [`Self::advance_parallel_wave`] as the shard's in-flight
-    /// operations complete.
-    parallel_pending: HashMap<ControlKind, Vec<VecDeque<usize>>>,
-    trackers: HashMap<ControlKind, WaveTracker>,
+    /// operations complete. `None` = no open window for that kind.
+    parallel_pending: [Option<Vec<VecDeque<usize>>>; ControlKind::COUNT],
+    trackers: [Option<WaveTracker>; ControlKind::COUNT],
     participants: HashSet<InstanceId>,
     /// Resolved scope of the most recent wave per kind; absent means the
     /// wave addresses every participant (the default, pin-preserving path).
-    scope_sets: HashMap<ControlKind, ScopeSet>,
+    scope_sets: [Option<ScopeSet>; ControlKind::COUNT],
     /// Rebalance kill/respawn set override, installed when a key-range
     /// scope is resolved: only the members of the scoped wave are torn
     /// down — cold instances keep running through the migration.
@@ -233,8 +245,8 @@ impl EngineCtl<'_, '_> {
     /// Clears the ack tracker for `kind` — call before the first wave of a
     /// phase so acks from earlier phases don't count.
     pub fn reset_wave(&mut self, kind: ControlKind) {
-        self.model.trackers.insert(kind, WaveTracker::default());
-        self.model.parallel_pending.remove(&kind);
+        self.model.trackers[kind.index()] = Some(WaveTracker::default());
+        self.model.parallel_pending[kind.index()] = None;
     }
 
     /// Arms a one-shot resend timer for `kind`.
@@ -251,15 +263,14 @@ impl EngineCtl<'_, '_> {
     /// Whether every scoped participant has acked the current `kind` phase
     /// (every participant, for an unscoped wave).
     pub fn wave_complete(&self, kind: ControlKind) -> bool {
-        self.model
-            .trackers
-            .get(&kind)
+        self.model.trackers[kind.index()]
+            .as_ref()
             .is_some_and(|t| t.acked.len() >= self.model.wave_target_count(kind))
     }
 
     /// Number of participants that have acked the current `kind` phase.
     pub fn acked_count(&self, kind: ControlKind) -> usize {
-        self.model.trackers.get(&kind).map_or(0, |t| t.acked.len())
+        self.model.trackers[kind.index()].as_ref().map_or(0, |t| t.acked.len())
     }
 
     /// Total wave participants (operator + sink instances).
@@ -323,7 +334,7 @@ impl EngineModel {
         }
 
         let mut sources = Vec::new();
-        let mut source_of = HashMap::new();
+        let mut source_of = vec![u32::MAX; n];
         for (idx, i) in instances.iter().enumerate() {
             let task = instances.task_of(i);
             let spec = dag.spec(task);
@@ -334,7 +345,7 @@ impl EngineModel {
                 // instances (a Storm spout's stream is partitioned over
                 // its executors).
                 let replicas = instances.of_task(task).len() as f64;
-                source_of.insert(idx, sources.len());
+                source_of[idx] = sources.len() as u32;
                 sources.push(SourceState {
                     instance: idx,
                     interval: SimDuration::from_secs_f64(replicas / rate),
@@ -366,6 +377,9 @@ impl EngineModel {
         let pinned_vm =
             plan.pool().with_role(VmRole::Pinned).next().expect("plan has a pinned source/sink VM");
         let source_count = sources.len();
+        let store = ShardedStateStore::with_shards(config.store_shards);
+        let tables = DispatchTables::build(&dag, &instances, plan.initial(), store.shard_count());
+        let stats = EngineStats { dispatch_rebuilds: 1, ..EngineStats::default() };
 
         EngineModel {
             dag,
@@ -379,24 +393,26 @@ impl EngineModel {
             runtimes,
             sources,
             source_of,
+            tables,
+            respawning: InstanceBitset::with_capacity(n),
             in_flight: vec![0; source_count],
             acker: Acker::new(config.ack_timeout),
-            cache: HashMap::new(),
-            store: ShardedStateStore::with_shards(config.store_shards),
+            cache: FastHashMap::default(),
+            store,
             trace: TraceLog::new(),
-            stats: EngineStats::default(),
+            stats,
             rng: SimRng::seed_from(seed),
             coordinator: Some(coordinator),
             paused: false,
             migration_requested_at: None,
             rebalance_done_at: None,
             staged_updates: Vec::new(),
-            next_wave: HashMap::new(),
-            wave_routing: HashMap::new(),
-            parallel_pending: HashMap::new(),
-            trackers: HashMap::new(),
+            next_wave: [0; ControlKind::COUNT],
+            wave_routing: [None; ControlKind::COUNT],
+            parallel_pending: [const { None }; ControlKind::COUNT],
+            trackers: [const { None }; ControlKind::COUNT],
             participants,
-            scope_sets: HashMap::new(),
+            scope_sets: [const { None }; ControlKind::COUNT],
             rebalance_scope: None,
             expected_senders,
             pinned_vm,
@@ -412,7 +428,7 @@ impl EngineModel {
     }
 
     fn vm_of(&self, instance: usize) -> Option<VmId> {
-        self.assignment().vm_of(InstanceId::from_index(instance))
+        self.tables.vm(instance)
     }
 
     fn net_delay(&self, from: Option<usize>, to: usize) -> SimDuration {
@@ -454,7 +470,7 @@ impl EngineModel {
     }
 
     fn on_source_tick(&mut self, instance: usize, sched: &mut Scheduler<'_, Ev>) {
-        let sidx = self.source_of[&instance];
+        let sidx = self.source_of[instance] as usize;
         let backlog_len = self.sources[sidx].backlog.len();
         if backlog_len >= self.config.max_source_backlog {
             // The benchmark generator stalls once its buffer is full (the
@@ -501,7 +517,7 @@ impl EngineModel {
     }
 
     fn on_source_drain(&mut self, instance: usize, sched: &mut Scheduler<'_, Ev>) {
-        let sidx = self.source_of[&instance];
+        let sidx = self.source_of[instance] as usize;
         let empty = self.sources[sidx].backlog.is_empty() && self.sources[sidx].retries.is_empty();
         if !self.can_emit(sidx) || empty {
             self.sources[sidx].draining = false;
@@ -530,7 +546,7 @@ impl EngineModel {
         sched: &mut Scheduler<'_, Ev>,
     ) {
         let instance = self.sources[sidx].instance;
-        let task = self.instances.task_of(InstanceId::from_index(instance));
+        let task = self.tables.meta(instance).task;
         let replayed = if self.protocol.ack_user_events {
             let entry = self.cache.entry(root).or_insert(CachedRoot {
                 generated_at,
@@ -546,12 +562,11 @@ impl EngineModel {
         };
 
         let mut xor = 0u64;
-        let downstream: Vec<TaskId> = self.dag.downstream(task).to_vec();
-        for (edge, dtask) in downstream.into_iter().enumerate() {
+        for edge in 0..self.tables.out_degree(task) {
             let id = self.rng.id();
             xor ^= id;
             let child = DataEvent { id, root, generated_at, replayed };
-            let to = self.route(instance, edge, dtask, root);
+            let to = self.route(instance, task, edge, root);
             self.deliver(QueueItem::Data(child), Some(instance), to, sched);
         }
         if self.protocol.ack_user_events {
@@ -567,23 +582,23 @@ impl EngineModel {
         }
     }
 
-    fn route(&mut self, from: usize, edge: usize, dtask: TaskId, root: RootId) -> usize {
-        let targets = self.instances.of_task(dtask);
-        let spec = self.dag.spec(dtask);
-        if spec.is_keyed() {
+    fn route(&mut self, from: usize, task: TaskId, edge: usize, root: RootId) -> usize {
+        let et = self.tables.edge(task, edge);
+        if et.keyed {
             // Fields-grouped routing: the event's key partition picks the
             // owning replica (partition `p` is owned by slot
             // `p % replicas`), so sibling events of one key always land on
             // the same instance and per-key state stays single-writer. The
             // round-robin cursor is left untouched — unkeyed downstream
             // tasks of the same edge keep their historical shuffle order.
-            let p = spec.partition_of(key_hash(root.0));
-            return targets[p as usize % targets.len()].index();
+            let p = self.tables.partition_of(et.dtask, key_hash(root.0));
+            return et.targets[p as usize % et.targets.len()] as usize;
         }
+        let targets = &et.targets;
         let rt = &mut self.runtimes[from];
         let cursor = rt.rr[edge];
         rt.rr[edge] = cursor.wrapping_add(1);
-        targets[cursor % targets.len()].index()
+        targets[cursor % targets.len()] as usize
     }
 
     // ------------------------------------------------------------------
@@ -609,10 +624,7 @@ impl EngineModel {
         // same contract `Starting` gets below. Whole-topology rebalances
         // keep the drop: every upstream is dead or drained by then, and
         // DSM's measured loss depends on it.
-        let respawning = self
-            .rebalance_scope
-            .as_ref()
-            .is_some_and(|scope| scope.contains(&InstanceId::from_index(to)));
+        let respawning = self.respawning.contains(to);
         let rt = &mut self.runtimes[to];
         if rt.status == WorkerStatus::Dead && respawning {
             match item {
@@ -669,10 +681,9 @@ impl EngineModel {
     }
 
     fn on_wake(&mut self, instance: usize, sched: &mut Scheduler<'_, Ev>) {
-        let task = self.instances.task_of(InstanceId::from_index(instance));
-        let spec = self.dag.spec(task);
-        let latency = spec.latency();
-        let is_operator = spec.kind() == TaskKind::Operator;
+        let meta = *self.tables.meta(instance);
+        let latency = meta.latency;
+        let is_operator = meta.kind == TaskKind::Operator;
         let control_latency = self.config.control_latency;
         let rt = &mut self.runtimes[instance];
         if rt.busy() || rt.status != WorkerStatus::Running {
@@ -693,7 +704,7 @@ impl EngineModel {
                         && match &rt.capture_ranges {
                             None => true,
                             Some(ranges) => {
-                                let p = spec.partition_of(key_hash(d.root.0));
+                                let p = self.tables.partition_of(meta.task, key_hash(d.root.0));
                                 ranges.iter().any(|r| r.contains(p))
                             }
                         };
@@ -738,14 +749,13 @@ impl EngineModel {
     }
 
     fn finish_data(&mut self, instance: usize, d: DataEvent, sched: &mut Scheduler<'_, Ev>) {
-        let iid = InstanceId::from_index(instance);
-        let task = self.instances.task_of(iid);
-        let spec = self.dag.spec(task);
-        let kind = spec.kind();
+        let meta = *self.tables.meta(instance);
+        let task = meta.task;
+        let kind = meta.kind;
         self.runtimes[instance].processed += 1;
-        if spec.is_keyed() {
-            let parts = spec.key_partitions() as usize;
-            let p = spec.partition_of(key_hash(d.root.0)) as usize;
+        if meta.keyed {
+            let parts = meta.key_partitions as usize;
+            let p = self.tables.partition_of(task, key_hash(d.root.0)) as usize;
             let rt = &mut self.runtimes[instance];
             if rt.key_processed.len() < parts {
                 rt.key_processed.resize(parts, 0);
@@ -773,10 +783,9 @@ impl EngineModel {
             }
             TaskKind::Operator => {
                 self.stats.events_processed += 1;
-                let selectivity = self.dag.spec(task).selectivity();
-                let downstream: Vec<TaskId> = self.dag.downstream(task).to_vec();
+                let selectivity = meta.selectivity;
                 let mut children_xor = 0u64;
-                for (edge, dtask) in downstream.into_iter().enumerate() {
+                for edge in 0..self.tables.out_degree(task) {
                     let copies = self.copies(selectivity);
                     for _ in 0..copies {
                         let id = self.rng.id();
@@ -787,7 +796,7 @@ impl EngineModel {
                             generated_at: d.generated_at,
                             replayed: d.replayed,
                         };
-                        let to = self.route(instance, edge, dtask, d.root);
+                        let to = self.route(instance, task, edge, d.root);
                         self.deliver(QueueItem::Data(child), Some(instance), to, sched);
                     }
                 }
@@ -853,7 +862,7 @@ impl EngineModel {
     fn install_scope(&mut self, kind: ControlKind, scope: WaveScope) {
         match scope {
             WaveScope::AllParticipants => {
-                self.scope_sets.remove(&kind);
+                self.scope_sets[kind.index()] = None;
             }
             WaveScope::Instances(InstanceScope::Migrating) => {
                 let members: HashSet<InstanceId> = self
@@ -862,14 +871,18 @@ impl EngineModel {
                     .copied()
                     .filter(|i| self.participants.contains(i))
                     .collect();
-                self.scope_sets.insert(kind, ScopeSet { members, ranges: HashMap::new() });
+                self.scope_sets[kind.index()] = Some(ScopeSet { members, ranges: HashMap::new() });
             }
             WaveScope::KeyRanges(kr) => {
                 let set = self.resolve_key_range_scope(kr.hot_weight_permille);
                 let mut kill_set: Vec<InstanceId> = set.members.iter().copied().collect();
                 kill_set.sort_unstable_by_key(|i| i.index());
+                self.respawning.clear();
+                for i in &kill_set {
+                    self.respawning.insert(i.index());
+                }
                 self.rebalance_scope = Some(kill_set);
-                self.scope_sets.insert(kind, set);
+                self.scope_sets[kind.index()] = Some(set);
             }
         }
     }
@@ -924,13 +937,13 @@ impl EngineModel {
     /// Participants the current `kind` wave addresses — the completion
     /// denominator for scoped waves.
     fn wave_target_count(&self, kind: ControlKind) -> usize {
-        self.scope_sets.get(&kind).map_or(self.participants.len(), |s| s.members.len())
+        self.scope_sets[kind.index()].as_ref().map_or(self.participants.len(), |s| s.members.len())
     }
 
     /// The hot key ranges the current `kind` wave slices `instance` to,
     /// if that wave is key-range scoped and `instance` is a keyed member.
     fn scoped_ranges(&self, kind: ControlKind, instance: usize) -> Option<&Vec<KeyRange>> {
-        self.scope_sets.get(&kind).and_then(|s| s.ranges.get(&instance))
+        self.scope_sets[kind.index()].as_ref().and_then(|s| s.ranges.get(&instance))
     }
 
     /// Store-op pricing surcharge for the per-partition counters a keyed
@@ -947,13 +960,13 @@ impl EngineModel {
         sched: &mut Scheduler<'_, Ev>,
     ) -> u32 {
         let wave = {
-            let w = self.next_wave.entry(kind).or_insert(0);
+            let w = &mut self.next_wave[kind.index()];
             let current = *w;
             *w += 1;
             current
         };
-        self.wave_routing.insert(kind, routing);
-        self.trackers.entry(kind).or_default();
+        self.wave_routing[kind.index()] = Some(routing);
+        self.trackers[kind.index()].get_or_insert_with(WaveTracker::default);
         self.trace.record(TraceEvent::ControlWave { kind, wave, at: sched.now() });
 
         // Wave setup is driven entirely by the routing's interpreted
@@ -982,8 +995,8 @@ impl EngineModel {
             // while starting): already-acked instances would ack as
             // duplicates without advancing any window, wedging the shard
             // behind them.
-            let acked = self.trackers.get(&kind).map(|t| &t.acked);
-            let scope = self.scope_sets.get(&kind);
+            let acked = self.trackers[kind.index()].as_ref().map(|t| &t.acked);
+            let scope = self.scope_sets[kind.index()].as_ref();
             let mut targets: Vec<usize> = self
                 .participants
                 .iter()
@@ -1025,7 +1038,7 @@ impl EngineModel {
                         }
                     }
                 }
-                self.parallel_pending.insert(kind, queues);
+                self.parallel_pending[kind.index()] = Some(queues);
                 injections
             } else {
                 targets.into_iter().map(|to| (to, from)).collect()
@@ -1061,7 +1074,7 @@ impl EngineModel {
     /// The discipline of the most recent `kind` wave (sequential before
     /// any wave of that kind has started).
     fn wave_discipline(&self, kind: ControlKind) -> WaveDiscipline {
-        self.wave_routing.get(&kind).copied().unwrap_or(WaveRouting::Sequential).discipline()
+        self.wave_routing[kind.index()].unwrap_or(WaveRouting::Sequential).discipline()
     }
 
     /// Prices one store round-trip for `instance`: the latency model's
@@ -1132,8 +1145,8 @@ impl EngineModel {
         if !self.wave_discipline(kind).windowed {
             return;
         }
-        let shard = self.store.shard_of(InstanceId::from_index(instance));
-        let next = match self.parallel_pending.get_mut(&kind) {
+        let shard = self.tables.meta(instance).store_shard as usize;
+        let next = match self.parallel_pending[kind.index()].as_mut() {
             Some(queues) => match queues.get_mut(shard).and_then(VecDeque::pop_front) {
                 Some(next) => next,
                 None => return,
@@ -1142,10 +1155,10 @@ impl EngineModel {
         };
         // Waves number from 0; `next_wave` already holds the *next* one.
         // A windowed wave can only be advancing if `start_wave` ran for
-        // this kind, so the entry must exist and be positive — guessing
-        // wave 0 here would mis-tag resent parallel waves.
-        let wave = match self.next_wave.get(&kind) {
-            Some(&w) if w > 0 => w - 1,
+        // this kind, so the counter must be positive — guessing wave 0
+        // here would mis-tag resent parallel waves.
+        let wave = match self.next_wave[kind.index()] {
+            w if w > 0 => w - 1,
             _ => {
                 debug_assert!(false, "advancing a {kind:?} wave that never started");
                 return;
@@ -1189,8 +1202,8 @@ impl EngineModel {
     }
 
     fn already_acked(&self, kind: ControlKind, instance: usize) -> bool {
-        self.trackers
-            .get(&kind)
+        self.trackers[kind.index()]
+            .as_ref()
             .is_some_and(|t| t.acked.contains(&InstanceId::from_index(instance)))
     }
 
@@ -1257,12 +1270,11 @@ impl EngineModel {
                 } else {
                     0
                 };
-                let task = self.instances.task_of(InstanceId::from_index(instance));
-                let spec = self.dag.spec(task);
-                let covered_partitions = if spec.is_keyed() {
+                let meta = self.tables.meta(instance);
+                let covered_partitions = if meta.keyed {
                     match self.scoped_ranges(ControlKind::Commit, instance) {
                         Some(ranges) => ranges.iter().map(|r| r.len() as usize).sum(),
-                        None => spec.key_partitions() as usize,
+                        None => meta.key_partitions as usize,
                     }
                 } else {
                     0
@@ -1321,8 +1333,7 @@ impl EngineModel {
                 // round-trip is priced by their stored pending events and
                 // counters rather than the whole instance's.
                 let iid = InstanceId::from_index(instance);
-                let task = self.instances.task_of(iid);
-                let spec = self.dag.spec(task);
+                let meta = self.tables.meta(instance);
                 let (stored_pending, covered_partitions) =
                     match self.scoped_ranges(ControlKind::Init, instance) {
                         Some(ranges) => (
@@ -1331,7 +1342,7 @@ impl EngineModel {
                         ),
                         None => (
                             self.store.peek_pending_len(iid).unwrap_or(0),
-                            if spec.is_keyed() { spec.key_partitions() as usize } else { 0 },
+                            if meta.keyed { meta.key_partitions as usize } else { 0 },
                         ),
                     };
                 let payload = stored_pending + Self::counter_event_equiv(covered_partitions);
@@ -1351,10 +1362,9 @@ impl EngineModel {
             return;
         }
         let iid = InstanceId::from_index(instance);
-        let task = self.instances.task_of(iid);
-        let spec = self.dag.spec(task);
-        let keyed = spec.is_keyed();
-        let parts = spec.key_partitions() as usize;
+        let meta = self.tables.meta(instance);
+        let keyed = meta.keyed;
+        let parts = meta.key_partitions as usize;
         let rt = &mut self.runtimes[instance];
         let processed = rt.prepared.take().unwrap_or(rt.processed);
         let pending = if self.protocol.persist_pending {
@@ -1392,13 +1402,10 @@ impl EngineModel {
         sched: &mut Scheduler<'_, Ev>,
     ) {
         let iid = InstanceId::from_index(instance);
-        let task = self.instances.task_of(iid);
-        let spec = self.dag.spec(task);
-        let parts = spec.key_partitions() as usize;
-        let replicas = self.instances.of_task(task);
-        let slot =
-            replicas.iter().position(|&i| i == iid).expect("instance belongs to its task") as u32;
-        let k = replicas.len() as u32;
+        let meta = *self.tables.meta(instance);
+        let parts = meta.key_partitions as usize;
+        let slot = meta.slot;
+        let k = meta.task_replicas;
 
         let (pending, counts) = {
             let rt = &mut self.runtimes[instance];
@@ -1419,7 +1426,7 @@ impl EngineModel {
         let mut buckets: Vec<Vec<DataEvent>> = vec![Vec::new(); ranges.len()];
         let mut residual: Vec<DataEvent> = Vec::new();
         for d in pending {
-            let p = spec.partition_of(key_hash(d.root.0));
+            let p = self.tables.partition_of(meta.task, key_hash(d.root.0));
             match ranges.iter().position(|r| r.contains(p)) {
                 Some(idx) => buckets[idx].push(d),
                 None => residual.push(d),
@@ -1515,8 +1522,7 @@ impl EngineModel {
         sched: &mut Scheduler<'_, Ev>,
     ) {
         let iid = InstanceId::from_index(instance);
-        let task = self.instances.task_of(iid);
-        let parts = self.dag.spec(task).key_partitions() as usize;
+        let parts = self.tables.meta(instance).key_partitions as usize;
         let mut moved_bytes = 0u64;
         let mut fetched: Vec<(KeyRange, StateBlob)> = Vec::new();
         for &range in &ranges {
@@ -1577,16 +1583,14 @@ impl EngineModel {
     }
 
     fn forward_control(&mut self, instance: usize, c: ControlEvent, sched: &mut Scheduler<'_, Ev>) {
-        if !self.runtimes[instance].forwarded.insert((c.kind, c.wave)) {
+        if !self.runtimes[instance].mark_forwarded(c.kind, c.wave) {
             return;
         }
-        let task = self.instances.task_of(InstanceId::from_index(instance));
-        let downstream: Vec<TaskId> = self.dag.downstream(task).to_vec();
+        let task = self.tables.meta(instance).task;
         let from = ControlSender::Upstream(InstanceId::from_index(instance));
-        for dtask in downstream {
-            let targets: Vec<usize> =
-                self.instances.of_task(dtask).iter().map(|i| i.index()).collect();
-            for to in targets {
+        for edge in 0..self.tables.out_degree(task) {
+            for t in 0..self.tables.edge(task, edge).targets.len() {
+                let to = self.tables.edge(task, edge).targets[t] as usize;
                 self.deliver(
                     QueueItem::Control(ControlEvent { kind: c.kind, wave: c.wave, from }),
                     Some(instance),
@@ -1601,7 +1605,7 @@ impl EngineModel {
         let iid = InstanceId::from_index(instance);
         let target = self.wave_target_count(kind);
         let (newly_acked, start_completion) = {
-            let Some(tracker) = self.trackers.get_mut(&kind) else {
+            let Some(tracker) = self.trackers[kind.index()].as_mut() else {
                 return;
             };
             let newly_acked = tracker.acked.insert(iid);
@@ -1667,7 +1671,33 @@ impl EngineModel {
             let delay = self.config.worker_ready_delay(&mut self.rng);
             sched.after(delay, Ev::WorkerReady { instance: iid.index() as u32 });
         }
+        // The routing inputs just changed (assignment flipped to the
+        // target, staged logic updates applied): rebuild the flat dispatch
+        // tables before the coordinator can start an INIT wave against
+        // them. The scoped-respawn fast path ends with the rebalance too.
+        self.rebuild_dispatch_tables();
+        self.respawning.clear();
         self.notify(sched, |c, ctl| c.on_rebalance_complete(ctl));
+    }
+
+    /// Rebuilds the flat dispatch tables from the current dataflow,
+    /// instance expansion, and assignment — see the crate-level "Dispatch
+    /// model" section for the lifecycle.
+    fn rebuild_dispatch_tables(&mut self) {
+        self.tables = DispatchTables::build(
+            &self.dag,
+            &self.instances,
+            self.assignment(),
+            self.store.shard_count(),
+        );
+        self.stats.dispatch_rebuilds += 1;
+        debug_assert!(self.tables.agrees_with(
+            &self.dag,
+            &self.instances,
+            self.assignment(),
+            self.store.shard_count()
+        ));
+        debug_assert!(self.tables.cursors_consistent(&self.runtimes));
     }
 
     fn on_worker_ready(&mut self, instance: usize, sched: &mut Scheduler<'_, Ev>) {
@@ -2059,6 +2089,71 @@ mod tests {
         assert_eq!(e.worker_status(victim), WorkerStatus::Running);
         // Uninitialized after crash: user events buffer rather than process.
         assert!(!e.is_initialized(victim));
+    }
+
+    /// A coordinator that goes straight to Storm's rebalance on request —
+    /// no waves — so the test isolates the table-rebuild path.
+    struct RebalanceOnly;
+
+    impl MigrationCoordinator for RebalanceOnly {
+        fn name(&self) -> &'static str {
+            "rebalance-only"
+        }
+
+        fn on_migration_requested(&mut self, ctl: &mut EngineCtl<'_, '_>) {
+            ctl.start_rebalance();
+        }
+
+        fn on_wave_complete(&mut self, _kind: ControlKind, _ctl: &mut EngineCtl<'_, '_>) {}
+
+        fn on_rebalance_complete(&mut self, ctl: &mut EngineCtl<'_, '_>) {
+            ctl.complete_migration();
+        }
+
+        fn on_resend_timer(&mut self, _kind: ControlKind, _ctl: &mut EngineCtl<'_, '_>) {}
+    }
+
+    #[test]
+    fn rebalance_rebuilds_tables_without_stale_targets() {
+        let dag = library::grid();
+        let instances = InstanceSet::plan(&dag);
+        let plan = ScalePlan::paper_scenario(&dag, &instances, ScaleDirection::In).unwrap();
+        let mut e = Engine::new(
+            dag,
+            instances,
+            &plan,
+            EngineConfig::default(),
+            ProtocolConfig::dcr(),
+            Box::new(RebalanceOnly),
+            13,
+        );
+        // Construction builds the tables once, against the initial assignment.
+        assert_eq!(e.model.stats.dispatch_rebuilds, 1);
+        let fresh = |m: &EngineModel| {
+            m.tables.agrees_with(&m.dag, &m.instances, m.assignment(), m.store.shard_count())
+        };
+        assert!(fresh(&e.model), "tables stale right after construction");
+
+        e.schedule_migration(SimTime::from_secs(10));
+        e.run_until(SimTime::from_secs(60));
+
+        // The scale-in kill/respawn switched the engine to the target
+        // assignment and re-derived every table from it, exactly once.
+        assert!(e.model.on_target, "rebalance did not complete");
+        assert_eq!(e.model.stats.dispatch_rebuilds, 2);
+        assert!(fresh(&e.model), "tables stale after rebalance");
+        // The scenario genuinely relocates instances across VMs, and the VM
+        // column tracks the *target* placement for each of them — a stale
+        // table would still answer with pre-rebalance VMs here.
+        assert!(e
+            .model
+            .migrating
+            .iter()
+            .any(|&i| e.model.initial.vm_of(i) != e.model.target.vm_of(i)));
+        for &i in &e.model.migrating {
+            assert_eq!(e.model.tables.vm(i.index()), e.model.target.vm_of(i));
+        }
+        assert!(e.model.respawning.is_empty(), "respawn scope not cleared");
     }
 
     #[test]

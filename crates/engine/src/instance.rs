@@ -64,8 +64,10 @@ pub(crate) struct InstanceRuntime {
     pub capture_ranges: Option<Vec<flowmig_topology::KeyRange>>,
     /// Alignment bookkeeping: senders seen for the current wave, per kind.
     pub seen: AlignmentState,
-    /// Waves already forwarded downstream, per kind (dedup for resends).
-    pub forwarded: HashSet<(ControlKind, u32)>,
+    /// Waves already forwarded downstream, kind-indexed
+    /// ([`ControlKind::index`]); dedup for resends. The per-kind lists stay
+    /// tiny (one entry per wave cycle), so a linear scan beats hashing.
+    pub forwarded: [Vec<u32>; ControlKind::COUNT],
     /// Round-robin cursors, one per out-edge, for shuffle routing.
     pub rr: Vec<usize>,
 }
@@ -85,7 +87,7 @@ impl InstanceRuntime {
             key_processed: Vec::new(),
             capture_ranges: None,
             seen: AlignmentState::default(),
-            forwarded: HashSet::new(),
+            forwarded: [const { Vec::new() }; ControlKind::COUNT],
             rr: vec![0; out_degree],
         }
     }
@@ -93,6 +95,17 @@ impl InstanceRuntime {
     /// Whether the instance is mid-work.
     pub fn busy(&self) -> bool {
         self.current.is_some()
+    }
+
+    /// Records that `wave` of `kind` has been forwarded; returns `true` on
+    /// first sight (same semantics as `HashSet::insert` on `(kind, wave)`).
+    pub fn mark_forwarded(&mut self, kind: ControlKind, wave: u32) -> bool {
+        let seen = &mut self.forwarded[kind.index()];
+        if seen.contains(&wave) {
+            return false;
+        }
+        seen.push(wave);
+        true
     }
 
     /// Drops all queued work (worker killed); returns the data events that
@@ -190,6 +203,23 @@ mod tests {
         assert!(r.queue.is_empty());
         assert!(!r.initialized);
         assert!(!r.busy());
+    }
+
+    #[test]
+    fn mark_forwarded_dedups_per_kind_and_survives_kill() {
+        let mut r = InstanceRuntime::new(1);
+        assert!(r.mark_forwarded(ControlKind::Prepare, 1));
+        assert!(!r.mark_forwarded(ControlKind::Prepare, 1));
+        // Other kinds and waves are independent.
+        assert!(r.mark_forwarded(ControlKind::Commit, 1));
+        assert!(r.mark_forwarded(ControlKind::Prepare, 2));
+        // A late lower wave is still deduped only against itself.
+        assert!(r.mark_forwarded(ControlKind::Init, 3));
+        assert!(r.mark_forwarded(ControlKind::Init, 2));
+        assert!(!r.mark_forwarded(ControlKind::Init, 3));
+        // kill() must not forget forwarded waves (resend dedup spans respawn).
+        r.kill();
+        assert!(!r.mark_forwarded(ControlKind::Prepare, 1));
     }
 
     #[test]

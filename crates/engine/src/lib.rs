@@ -33,14 +33,55 @@
 //! Strategies drive the engine through the [`MigrationCoordinator`] trait
 //! and its [`EngineCtl`] handle — the mechanisms live here, the policy in
 //! `flowmig-core`.
+//!
+//! # Dispatch model
+//!
+//! The hot event paths dispatch through **flat tables**, not through the
+//! dataflow graph. At engine construction the model builds a
+//! `DispatchTables` bundle (crate-private, in `dispatch`):
+//!
+//! * a dense `InstanceMeta` array — task id, kind, service latency,
+//!   selectivity, keyed-ness, store shard, replica slot — replacing the
+//!   per-event `task_of` → `spec` pointer chases;
+//! * an [`flowmig_topology::EdgeTable`] — per (task, out-edge): the
+//!   downstream task and its replicas as a dense `u32` index array,
+//!   replacing per-event `downstream(..).to_vec()` + `of_task(..)`;
+//! * per-task [`flowmig_topology::KeyPartitioner`]s — precomputed
+//!   cumulative key-weight thresholds, bitwise-identical to
+//!   `TaskSpec::partition_of` but O(log partitions) instead of
+//!   O(partitions²) per event;
+//! * a per-instance VM column replacing `Assignment::vm_of` hash lookups
+//!   in network-delay pricing.
+//!
+//! **Lifecycle.** Tables are built once in `EngineModel::new` and rebuilt
+//! at exactly one other point: the end of a rebalance
+//! (`on_rebalance_done`), after the assignment flips to the target and
+//! staged logic updates are applied, before the coordinator is notified —
+//! the only events that change routing inputs. The
+//! [`EngineStats`] field `dispatch_rebuilds` counts rebuilds; debug
+//! builds assert table/graph agreement after every rebuild.
+//!
+//! Per-kind wave bookkeeping (`next_wave`, trackers, routing, scopes) is
+//! stored in [`flowmig_metrics::ControlKind`]-indexed arrays
+//! (`ControlKind::index`), and a
+//! rebalance scope installs an instance-indexed bitset so the per-delivery
+//! "is this instance mid-respawn?" check is O(1).
+//!
+//! **Hashing policy.** Maps that remain maps (acker ledgers, the root
+//! replay cache, store blob maps) use the in-tree [`FxHasher`] — see
+//! [`fasthash`] for the rule on when a map may adopt it (no observable
+//! iteration-order dependence; the determinism pins are the regression
+//! proof).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod acker;
 mod config;
+mod dispatch;
 mod engine;
 mod event;
+pub mod fasthash;
 mod instance;
 mod protocol;
 #[cfg(test)]
@@ -52,6 +93,7 @@ pub use acker::{AckOutcome, Acker};
 pub use config::{EngineConfig, StoreLatencyModel, StoreReplication, StoreServiceModel};
 pub use engine::{Engine, EngineCtl};
 pub use event::{ControlEvent, ControlSender, DataEvent, QueueItem};
+pub use fasthash::{FastHashMap, FastHashSet, FxHasher};
 pub use instance::WorkerStatus;
 pub use protocol::{
     resend, InstanceScope, KeyRangeScope, MigrationCoordinator, NoopCoordinator, ProtocolConfig,

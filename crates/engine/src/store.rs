@@ -39,10 +39,10 @@
 
 use crate::config::{StoreReplication, StoreServiceModel};
 use crate::event::DataEvent;
+use crate::fasthash::FastHashMap;
 use flowmig_sim::{SimDuration, SimTime};
 use flowmig_topology::{InstanceId, KeyRange};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A checkpointed snapshot of one task instance — or, for a key-range
 /// migration, of one contiguous slice of its key space.
@@ -86,11 +86,11 @@ impl StateBlob {
 /// operation and traffic counters plus the replicated service-queue state.
 #[derive(Debug, Clone, Default)]
 struct StoreShard {
-    blobs: HashMap<InstanceId, StateBlob>,
+    blobs: FastHashMap<InstanceId, StateBlob>,
     /// Key-range-addressed blobs: one slice of an instance's key space per
     /// entry. Separate namespace from whole-instance blobs — a range
     /// persist never shadows a whole-instance checkpoint.
-    range_blobs: HashMap<(InstanceId, KeyRange), StateBlob>,
+    range_blobs: FastHashMap<(InstanceId, KeyRange), StateBlob>,
     puts: u64,
     gets: u64,
     misses: u64,

@@ -13,7 +13,10 @@
 //! * [`InstanceSet`] — data-parallel expansion (one instance per 8 ev/s,
 //!   the paper's provisioning rule);
 //! * [`library`] — the five dataflows of the paper's evaluation (Fig. 4,
-//!   Table 1) plus the `linear_n` scaling family.
+//!   Table 1) plus the `linear_n` scaling family;
+//! * [`EdgeTable`] / [`KeyPartitioner`] — flat routing tables (dense
+//!   per-edge target arrays, precomputed key-partition thresholds) for
+//!   engines that resolve per-event lookups once per configuration.
 //!
 //! # Examples
 //!
@@ -35,9 +38,11 @@ mod builder;
 mod graph;
 pub mod library;
 mod rates;
+mod tables;
 mod task;
 
 pub use builder::DataflowBuilder;
 pub use graph::{Dataflow, ValidateDataflowError};
 pub use rates::{InstanceId, InstanceSet, RatePlan, EVENTS_PER_INSTANCE_HZ};
+pub use tables::{EdgeTable, EdgeTargets, KeyPartitioner};
 pub use task::{KeyRange, TaskId, TaskKind, TaskSpec};

@@ -418,6 +418,47 @@ fn skewed_grid_key_range_timeline_is_pinned() {
     assert_eq!(hash, PINNED, "skewed-grid CCR-KR timeline drifted; actual {hash:#018x}");
 }
 
+/// Large-scope rebalance regression for the respawn bitset: on
+/// `grid_zipf(6, 8, 2)` (96 instances) CCR-KR resolves a key-range scope
+/// covering dozens of hot-range owners, and every delivery into the dead
+/// window consults the scope — formerly an O(|scope|) `Vec::contains`
+/// per event, now an instance-indexed bitset. A mis-indexed or stale
+/// bitset flips the buffer-vs-drop decision for mid-respawn deliveries
+/// and drifts the timeline, so the run is pinned and must also be
+/// byte-identical across queue backends and across repeated runs.
+#[test]
+fn large_scope_rebalance_traces_are_identical_and_pinned() {
+    const PINNED: u64 = 0x0250af2cd6231029;
+    let run = |backend: QueueBackend| {
+        let config = EngineConfig { transport_buffer: 4096, ..EngineConfig::default() };
+        controller(7)
+            .with_engine_config(config)
+            .with_queue_backend(backend)
+            .with_horizon(SimTime::from_secs(400))
+            .run(
+                &library::grid_zipf(6, 8, 2),
+                &CcrKeyRange::new().without_wave_timeout(),
+                ScaleDirection::In,
+            )
+            .expect("wide zipf grid placeable")
+    };
+    let heap = run(QueueBackend::Heap);
+    let again = run(QueueBackend::Heap);
+    let calendar = run(QueueBackend::Calendar);
+    assert_eq!(heap.stats, again.stats, "stats diverged across runs");
+    assert_eq!(heap.trace, again.trace, "trace diverged across runs");
+    // `queue_rotations` is a backend-implementation counter (always 0 on
+    // the heap); every simulation-visible stat must agree.
+    let normalized = EngineStats { queue_rotations: heap.stats.queue_rotations, ..calendar.stats };
+    assert_eq!(heap.stats, normalized, "stats diverged across backends");
+    assert_eq!(heap.trace, calendar.trace, "trace diverged across backends");
+    assert!(heap.completed, "large-scope CCR-KR completes");
+    assert_eq!(heap.stats.events_dropped, 0, "mid-respawn deliveries were buffered, not dropped");
+    assert!(heap.trace.ranges_moved() > 0, "the key-range scope actually resolved");
+    let hash = trace_hash(&heap.trace);
+    assert_eq!(hash, PINNED, "large-scope rebalance timeline drifted; actual {hash:#018x}");
+}
+
 /// The calendar queue backend must be *provably order-identical* to the
 /// heap: the same 5-DAG x 3-strategy matrix, run under
 /// `QueueBackend::Calendar`, must reproduce the PR 3 pinned hashes byte

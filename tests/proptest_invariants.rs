@@ -371,6 +371,85 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Flat dispatch-table equivalence (EdgeTable / KeyPartitioner)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The flat tables the engine's dispatch paths index into —
+    /// [`EdgeTable`] for per-(task, edge) target arrays and
+    /// [`KeyPartitioner`] for key→partition mapping — agree with the
+    /// dynamic `downstream`/`of_task`/`spec().partition_of` lookup chains
+    /// they replaced, over random layered DAGs with randomly keyed
+    /// operators (unkeyed, uniform, and Zipf-weighted key spaces).
+    #[test]
+    fn flat_tables_agree_with_dynamic_lookups_on_random_dags(
+        widths in proptest::collection::vec(1usize..4, 1..4),
+        keys in proptest::collection::vec((1u32..9, 0u32..3), 12..13),
+        hashes in proptest::collection::vec(0u64..u64::MAX, 8..33),
+    ) {
+        use flowmig::topology::{EdgeTable, KeyPartitioner};
+        let mut b = DataflowBuilder::new("random-keyed");
+        let src = b.add(TaskSpec::source("src", 8.0));
+        let sink = b.add(TaskSpec::sink("sink"));
+        let mut prev = vec![src];
+        let mut k = 0usize;
+        for (l, &w) in widths.iter().enumerate() {
+            let layer: Vec<TaskId> = (0..w)
+                .map(|i| {
+                    let (parts, style) = keys[k % keys.len()];
+                    k += 1;
+                    let spec = TaskSpec::operator(format!("l{l}n{i}"));
+                    b.add(match style {
+                        0 => spec.with_key_partitions(parts),
+                        1 => spec.with_zipf_keys(parts, 2),
+                        _ => spec, // unkeyed
+                    })
+                })
+                .collect();
+            for &p in &prev {
+                for &t in &layer {
+                    b.edge(p, t);
+                }
+            }
+            prev = layer;
+        }
+        for &p in &prev {
+            b.edge(p, sink);
+        }
+        let dag = b.finish().expect("random keyed dataflow is valid");
+        let instances = InstanceSet::plan(&dag);
+
+        let table = EdgeTable::build(&dag, &instances);
+        for task in dag.task_ids() {
+            let downstream = dag.downstream(task);
+            prop_assert_eq!(table.out_degree(task), downstream.len());
+            for (e, &dtask) in downstream.iter().enumerate() {
+                let et = table.edge(task, e);
+                prop_assert_eq!(et.dtask, dtask);
+                prop_assert_eq!(et.keyed, dag.spec(dtask).is_keyed());
+                let expect: Vec<u32> =
+                    instances.of_task(dtask).iter().map(|i| i.index() as u32).collect();
+                prop_assert_eq!(&et.targets, &expect, "targets of {task:?} edge {}", e);
+            }
+            // The precomputed threshold table must be bitwise-identical to
+            // the dynamic cumulative-weight walk for any hash.
+            let spec = dag.spec(task);
+            if spec.is_keyed() {
+                let p = KeyPartitioner::of(spec);
+                for &h in &hashes {
+                    prop_assert_eq!(
+                        p.partition_of(h), spec.partition_of(h),
+                        "hash {:#x} on {}", h, spec.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Event-queue backend equivalence
 // ---------------------------------------------------------------------
 
