@@ -1,0 +1,116 @@
+//! VM-group sharding for the multi-worker simulation executor.
+//!
+//! The parallel executor (`flowmig_sim::SimExecutor::Workers`) partitions
+//! the future-event list by *shard*, one worker thread per shard.
+//! [`ShardMap`] is the partition function: it folds VMs into `shards`
+//! groups by index, so every instance placed on a VM — and every event
+//! with that instance's affinity — lands on a stable shard. Events on the
+//! same VM never cross shards (intra-VM traffic is the dense, low-latency
+//! kind), and the map is a pure function of `(VmId, shard count)`, so it
+//! survives rebalances without remapping unmigrated instances.
+
+use crate::assignment::Assignment;
+use crate::vm::VmId;
+use flowmig_topology::InstanceId;
+
+/// Maps VMs (and, through an [`Assignment`], instances) onto a fixed
+/// number of executor shards by folding VM indices modulo the shard
+/// count.
+///
+/// The choice of map affects only load balance, never outcomes: the
+/// executor's conservative barrier makes every shard map produce
+/// bit-identical simulations.
+///
+/// # Examples
+///
+/// ```
+/// use flowmig_cluster::{ShardMap, VmId};
+///
+/// let map = ShardMap::new(4);
+/// assert_eq!(map.shards(), 4);
+/// assert_eq!(map.shard_of_vm(VmId::from_index(0)), 0);
+/// assert_eq!(map.shard_of_vm(VmId::from_index(5)), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardMap {
+    shards: usize,
+}
+
+impl ShardMap {
+    /// A map folding VMs into `shards` groups (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        ShardMap { shards: shards.max(1) }
+    }
+
+    /// Number of shards this map folds into.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard owning a VM — always in `0..shards()`.
+    pub fn shard_of_vm(&self, vm: VmId) -> usize {
+        vm.index() % self.shards
+    }
+
+    /// Shard owning an instance under `assignment`, or `None` if the
+    /// instance is unplaced (callers typically route unplaced work to
+    /// shard 0 alongside global control events).
+    pub fn shard_of_instance(
+        &self,
+        assignment: &Assignment,
+        instance: InstanceId,
+    ) -> Option<usize> {
+        assignment.vm_of(instance).map(|vm| self.shard_of_vm(vm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{SlotId, VmId};
+    use flowmig_topology::InstanceId;
+
+    #[test]
+    fn vms_fold_modulo_shard_count() {
+        let map = ShardMap::new(3);
+        for i in 0..30usize {
+            let shard = map.shard_of_vm(VmId::from_index(i));
+            assert_eq!(shard, i % 3);
+            assert!(shard < map.shards());
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let map = ShardMap::new(0);
+        assert_eq!(map.shards(), 1);
+        assert_eq!(map.shard_of_vm(VmId::from_index(41)), 0);
+    }
+
+    #[test]
+    fn instances_follow_their_vm() {
+        let mut assignment = Assignment::new();
+        let a = InstanceId::from_index(0);
+        let b = InstanceId::from_index(1);
+        assignment.place(a, SlotId { vm: VmId::from_index(2), slot: 0 });
+        assignment.place(b, SlotId { vm: VmId::from_index(5), slot: 1 });
+        let map = ShardMap::new(4);
+        assert_eq!(map.shard_of_instance(&assignment, a), Some(2));
+        assert_eq!(map.shard_of_instance(&assignment, b), Some(1));
+        let unplaced = InstanceId::from_index(99);
+        assert_eq!(map.shard_of_instance(&assignment, unplaced), None);
+    }
+
+    #[test]
+    fn same_vm_never_splits_across_shards() {
+        let mut assignment = Assignment::new();
+        let vm = VmId::from_index(7);
+        let ids: Vec<InstanceId> = (0..8).map(InstanceId::from_index).collect();
+        for (slot, &id) in ids.iter().enumerate() {
+            assignment.place(id, SlotId { vm, slot: slot as u8 });
+        }
+        let map = ShardMap::new(4);
+        let shards: Vec<_> = ids.iter().map(|&i| map.shard_of_instance(&assignment, i)).collect();
+        assert!(shards.iter().all(|s| *s == shards[0]), "co-located instances share a shard");
+    }
+}

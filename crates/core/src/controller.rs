@@ -6,7 +6,7 @@ use flowmig_engine::{
     Engine, EngineConfig, EngineStats, ShardStats, StoreReplication, StoreServiceModel,
 };
 use flowmig_metrics::{MigrationMetrics, StabilityCriteria, TraceLog};
-use flowmig_sim::{QueueBackend, SimDuration, SimTime};
+use flowmig_sim::{QueueBackend, SimDuration, SimExecutor, SimTime};
 use flowmig_topology::{Dataflow, InstanceSet, RatePlan};
 
 /// Everything measured from one migration run.
@@ -91,6 +91,17 @@ impl MigrationController {
     /// `Calendar` pays off at thousands of instances.
     pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
         self.engine_config.queue_backend = backend;
+        self
+    }
+
+    /// Selects the simulation executor: `SimExecutor::Workers(n)` shards
+    /// the future-event list by VM across `n` worker threads under a
+    /// conservative-lookahead barrier (see the `flowmig_sim` crate's
+    /// "Execution model" docs). Executors are provably outcome-identical
+    /// — like [`with_queue_backend`](Self::with_queue_backend), this is
+    /// purely a performance knob.
+    pub fn with_sim_workers(mut self, executor: SimExecutor) -> Self {
+        self.engine_config.sim_workers = executor;
         self
     }
 

@@ -37,6 +37,49 @@
 //! small models or when timestamps are adversarially far-flung (each window
 //! rotation pays a sort of the overflow tier).
 //!
+//! # Execution model
+//!
+//! Orthogonal to the backend, [`SimExecutor`] picks *who walks* the
+//! future-event list ([`Simulation::set_executor`] /
+//! `FLOWMIG_SIM_WORKERS`):
+//!
+//! * **`SingleThread`** (default) — the classic DES loop: pop the
+//!   earliest event, execute, repeat.
+//! * **`Workers(n)`** — the event list is sharded by
+//!   [`Process::shard_of`] across `n` worker threads, each owning a
+//!   private [`EventQueue`]; the driver thread synchronizes them with a
+//!   conservative-lookahead barrier and executes events in global
+//!   `(due, seq)` order.
+//!
+//! The **frontier invariant** is what makes `Workers(n)` exact rather
+//! than approximate: each barrier window, every worker pops a bounded run
+//! of due entries and reports its *frontier* — the `(due, seq)` key of
+//! the earliest entry it still holds. The minimum frontier across shards
+//! is a *safe bound*: no unexecuted event anywhere has a smaller key, so
+//! the k-way merge of the runs below that bound **is** the global
+//! execution order, and the driver executes exactly that prefix. Model
+//! execution (state updates, RNG draws, trace appends) stays on the
+//! driver thread in that order, which is why traces, stats, seeds and
+//! clocks are byte-identical to the single-threaded loop — the workers
+//! parallelize the queue plane (inserts, settles, window rotations,
+//! ordered pops), which dominates at large pending-set sizes.
+//!
+//! The **lookahead** ([`Simulation::set_lookahead`]) derives from the
+//! model's minimum cross-shard delivery latency — for the flowmig engine,
+//! `min(net_latency_remote, control_latency)` = 1 ms. Because models may
+//! also self-schedule at zero delay (`Scheduler::now_event`), lookahead
+//! is used only to extend a worker's pop run past its cap without
+//! splitting a dense same-instant cluster — it is a batching knob, and
+//! correctness never depends on its value.
+//!
+//! The **merge order is pinned** to ascending `(due, seq)` with ties (in
+//! the unreachable case of key collisions) broken by shard index:
+//! same-instant events must fire in schedule order no matter which shard
+//! held them, follow-up events get the same sequence numbers the
+//! single-threaded loop would assign, and re-running any configuration —
+//! across executors, worker counts and backends — reproduces every trace
+//! hash. See `workers.rs` module docs for the barrier protocol details.
+//!
 //! # Examples
 //!
 //! ```
@@ -67,8 +110,9 @@ mod executor;
 mod queue;
 mod rng;
 mod time;
+mod workers;
 
-pub use executor::{Process, RunOutcome, Scheduler, Simulation};
+pub use executor::{Process, RunOutcome, Scheduler, SimExecutor, Simulation};
 pub use queue::{EventQueue, QueueBackend, CALENDAR_BUCKETS, CALENDAR_BUCKET_MICROS};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

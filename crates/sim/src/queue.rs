@@ -90,16 +90,20 @@ impl std::str::FromStr for QueueBackend {
 }
 
 /// A scheduled entry: an event of type `E` due at a given instant.
+///
+/// `pub(crate)` (fields included) so the sharded executor in
+/// `crate::workers` can move entries between the driver and per-shard
+/// queues with their `(due, seq)` keys intact.
 #[derive(Debug, Clone)]
-struct Scheduled<E> {
-    due: SimTime,
-    seq: u64,
-    event: E,
+pub(crate) struct Scheduled<E> {
+    pub(crate) due: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
 }
 
 impl<E> Scheduled<E> {
     /// The total-order key every backend pops by.
-    fn key(&self) -> (SimTime, u64) {
+    pub(crate) fn key(&self) -> (SimTime, u64) {
         (self.due, self.seq)
     }
 }
@@ -535,6 +539,95 @@ impl<E> EventQueue<E> {
             Tier::Heap(_) => 0,
             Tier::Calendar(cal) => cal.rotations,
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Sharded-executor internals (`crate::workers`)
+    // -----------------------------------------------------------------
+    //
+    // The multi-worker executor moves entries between the driver's queue
+    // and per-shard queues without re-assigning sequence numbers: the
+    // global `(due, seq)` order is the single-threaded execution order,
+    // and preserving it across queue hops is what makes the sharded
+    // executor bit-identical.
+
+    /// Inserts an entry that already carries its global sequence number.
+    /// Does **not** advance `next_seq` — the driver owns the counter.
+    pub(crate) fn schedule_preassigned(&mut self, due: SimTime, seq: u64, event: E) {
+        let entry = Scheduled { due, seq, event };
+        match &mut self.tier {
+            Tier::Heap(heap) => heap.push(entry),
+            Tier::Calendar(cal) => cal.insert(entry),
+        }
+        self.peak_pending = self.peak_pending.max(self.len());
+    }
+
+    /// `(due, seq)` key of the earliest pending entry (`&mut` for the same
+    /// lazy-settle reason as [`peek_time`](Self::peek_time)).
+    pub(crate) fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        match &mut self.tier {
+            Tier::Heap(heap) => heap.peek().map(Scheduled::key),
+            Tier::Calendar(cal) => cal.peek().map(Scheduled::key),
+        }
+    }
+
+    /// Pops a *run* — entries due at or before `horizon`, in `(due, seq)`
+    /// order — into `into`: up to `max` entries unconditionally, then
+    /// (once the cap is hit) keeps going while the next entry is within
+    /// `lookahead` of the run's first due instant, so a dense same-epoch
+    /// cluster is never split across barrier windows. Returns the key of
+    /// the earliest entry left behind (the shard's *frontier*), `None` if
+    /// the queue drained.
+    pub(crate) fn pop_run_into(
+        &mut self,
+        horizon: SimTime,
+        max: usize,
+        lookahead: crate::SimDuration,
+        into: &mut Vec<Scheduled<E>>,
+    ) -> Option<(SimTime, u64)> {
+        debug_assert!(into.is_empty(), "pop_run_into requires a cleared buffer");
+        let mut first_due: Option<SimTime> = None;
+        loop {
+            let key = self.peek_key()?;
+            if key.0 > horizon {
+                return Some(key);
+            }
+            if into.len() >= max {
+                match first_due {
+                    // Lookahead extension: same-epoch clusters stay whole.
+                    Some(first) if key.0 <= first + lookahead => {}
+                    _ => return Some(key),
+                }
+            }
+            let entry = match &mut self.tier {
+                Tier::Heap(heap) => heap.pop(),
+                Tier::Calendar(cal) => cal.pop(),
+            }
+            .expect("peeked entry present");
+            first_due.get_or_insert(entry.due);
+            into.push(entry);
+        }
+    }
+
+    /// Drains every entry, keys intact, in `(due, seq)` order.
+    pub(crate) fn drain_all_into(&mut self, into: &mut Vec<Scheduled<E>>) {
+        loop {
+            let entry = match &mut self.tier {
+                Tier::Heap(heap) => heap.pop(),
+                Tier::Calendar(cal) => cal.pop(),
+            };
+            match entry {
+                Some(e) => into.push(e),
+                None => return,
+            }
+        }
+    }
+
+    /// Restores the sequence counter after a sharded run handed seq
+    /// assignment to the driver.
+    pub(crate) fn set_next_seq(&mut self, next_seq: u64) {
+        debug_assert!(next_seq >= self.next_seq, "sequence counter must not rewind");
+        self.next_seq = next_seq;
     }
 }
 
